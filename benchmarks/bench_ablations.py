@@ -1,0 +1,32 @@
+"""Ablation benches: the design choices behind the paper's numbers.
+
+Not paper figures -- these isolate the contribution of each design
+decision DESIGN.md calls out (registration caches, request caches,
+worker count) and project the comparison onto the paper's future-work
+hardware (BlueField-3 / idealised DPU).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_registration_caches(run_figure):
+    run_figure(_Mod(ablations.run_reg_cache_ablation))
+
+
+def test_ablation_group_request_caches(run_figure):
+    run_figure(_Mod(ablations.run_group_cache_ablation))
+
+
+def test_ablation_proxies_per_dpu(run_figure):
+    run_figure(_Mod(ablations.run_proxy_sweep))
+
+
+def test_ablation_dpu_generations(run_figure):
+    run_figure(_Mod(ablations.run_dpu_generation))
+
+
+class _Mod:
+    """Adapter so run_figure can treat a function like a figure module."""
+
+    def __init__(self, fn):
+        self.run = fn

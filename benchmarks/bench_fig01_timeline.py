@@ -1,0 +1,7 @@
+"""Regenerate Fig 1: ring-broadcast timeline (MPI vs staging vs proposed)."""
+
+from repro.experiments import fig01_timeline as figure_module
+
+
+def test_fig01_timeline(run_figure):
+    run_figure(figure_module)

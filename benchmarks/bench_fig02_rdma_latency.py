@@ -1,0 +1,7 @@
+"""Regenerate Fig 2: RDMA-write latency host-host vs host-DPU."""
+
+from repro.experiments import fig02_rdma_latency as figure_module
+
+
+def test_fig02_rdma_latency(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 3: RDMA-write bandwidth, normalised."""
+
+from repro.experiments import fig03_rdma_bw as figure_module
+
+
+def test_fig03_rdma_bw(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 4: non-blocking pingpong, host vs staging."""
+
+from repro.experiments import fig04_pingpong_staging as figure_module
+
+
+def test_fig04_pingpong_staging(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 5: the two cross-GVMI registration costs."""
+
+from repro.experiments import fig05_registration as figure_module
+
+
+def test_fig05_registration(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 11: 3DStencil overall time."""
+
+from repro.experiments import fig11_stencil_time as figure_module
+
+
+def test_fig11_stencil_time(run_figure):
+    run_figure(figure_module)

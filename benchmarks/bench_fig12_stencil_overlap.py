@@ -1,0 +1,7 @@
+"""Regenerate Fig 12: 3DStencil overlap percentage."""
+
+from repro.experiments import fig12_stencil_overlap as figure_module
+
+
+def test_fig12_stencil_overlap(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 13: Ialltoall overall time (3 runtimes)."""
+
+from repro.experiments import fig13_ialltoall as figure_module
+
+
+def test_fig13_ialltoall(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 14: Ialltoall overlap percentage."""
+
+from repro.experiments import fig14_ialltoall_overlap as figure_module
+
+
+def test_fig14_ialltoall_overlap(run_figure):
+    run_figure(figure_module)

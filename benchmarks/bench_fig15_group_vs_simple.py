@@ -1,0 +1,7 @@
+"""Regenerate Fig 15: Group vs Simple primitives."""
+
+from repro.experiments import fig15_group_vs_simple as figure_module
+
+
+def test_fig15_group_vs_simple(run_figure):
+    run_figure(figure_module)

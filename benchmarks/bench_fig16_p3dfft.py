@@ -1,0 +1,7 @@
+"""Regenerate Fig 16: P3DFFT runtime + profile."""
+
+from repro.experiments import fig16_p3dfft as figure_module
+
+
+def test_fig16_p3dfft(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,7 @@
+"""Regenerate Fig 17: HPL runtime vs memory fraction."""
+
+from repro.experiments import fig17_hpl as figure_module
+
+
+def test_fig17_hpl(run_figure):
+    run_figure(figure_module)

@@ -1,0 +1,44 @@
+"""Extended OSU-style characterisation of the simulated machine.
+
+Not a paper figure: a convenience bench that prints the latency /
+bandwidth / NBC-overlap profile of the calibrated testbed across the
+three runtimes, the way one would characterise a new cluster with the
+real OSU micro-benchmarks.
+"""
+
+from repro.apps.osu_suite import osu_bw, osu_ibcast, osu_latency
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2)
+SIZES = [64, 4096, 65536, 1 << 20]
+
+
+def test_osu_characterisation(benchmark):
+    def run():
+        out = {}
+        for flavor in ("intelmpi", "proposed"):
+            out[("lat", flavor)] = osu_latency(flavor, SPEC, SIZES, iters=5)
+        out["bw"] = osu_bw("intelmpi", SPEC, SIZES, window=16, iters=2)
+        for flavor in ("intelmpi", "bluesmpi", "proposed"):
+            out[("ibcast", flavor)] = osu_ibcast(flavor, SPEC, 128 * 1024, iters=3)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nosu_latency (us):")
+    print(f"{'size':>10s} {'intelmpi':>12s} {'proposed':>12s}")
+    for s in SIZES:
+        print(f"{s:>10d} {out[('lat', 'intelmpi')][s] * 1e6:>12.2f} "
+              f"{out[('lat', 'proposed')][s] * 1e6:>12.2f}")
+    print("\nosu_bw, host runtime (GB/s):")
+    for s in SIZES:
+        print(f"{s:>10d} {out['bw'][s] / 1e9:>12.2f}")
+    print("\nosu_ibcast 128KiB overlap (%):")
+    for flavor in ("intelmpi", "bluesmpi", "proposed"):
+        r = out[("ibcast", flavor)]
+        print(f"{flavor:>10s} {r.overlap_pct:>12.1f}")
+
+    # sanity: the machine behaves like the calibrated testbed
+    assert out["bw"][1 << 20] > 0.6 * SPEC.params.wire_bandwidth
+    assert (out[("ibcast", "proposed")].overlap_pct
+            > out[("ibcast", "intelmpi")].overlap_pct)

@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each ``bench_figNN_*.py`` regenerates one figure of the paper through
+pytest-benchmark (wall-clock of the simulation run is what's being
+"benchmarked"; the scientific output is the printed table).
+
+Scale selection: set ``REPRO_SCALE=paper`` to run the paper's full
+configurations (minutes+); default is the quick scale whose shape
+checks are asserted.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture
+def run_figure(benchmark, scale):
+    """Run a figure module once under pytest-benchmark, print its table,
+    and assert its paper-shape checks."""
+
+    def _run(module):
+        fig = benchmark.pedantic(module.run, kwargs={"scale": scale},
+                                 rounds=1, iterations=1)
+        print()
+        print(fig.render())
+        failed = [c for c in fig.checks if not c.passed]
+        assert not failed, f"{fig.fig_id}: failed checks {[c.name for c in failed]}"
+        return fig
+
+    return _run

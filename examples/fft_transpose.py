@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Distributed 3-D FFT on the simulated cluster, validated against NumPy.
+
+Runs the pencil-decomposed forward FFT (the P3DFFT pattern: local FFT,
+row alltoall-transpose, local FFT, column alltoall-transpose, local
+FFT) through all three runtimes -- real bytes move through the
+simulated fabric -- and checks every rank's slab against a
+single-process ``numpy.fft.fftn``.  Then times the non-blocking
+benchmark loop (two in-flight Ialltoalls per stage) on each runtime.
+
+Run:  python examples/fft_transpose.py
+"""
+
+from repro.apps.p3dfft import fft3d_validate, p3dfft_phase
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=4, proxies_per_dpu=2)
+GRID = (16, 16, 8)
+
+
+def main() -> None:
+    print(f"pencil FFT of a {GRID[0]}x{GRID[1]}x{GRID[2]} grid over "
+          f"{SPEC.world_size} ranks ({SPEC.nodes} nodes x {SPEC.ppn} PPN)\n")
+    for flavor in ("intelmpi", "bluesmpi", "proposed"):
+        ok = fft3d_validate(flavor, SPEC, *GRID)
+        print(f"  {flavor:10s} distributed FFT == numpy.fft.fftn : "
+              f"{'OK' if ok else 'MISMATCH'}")
+
+    print("\nnon-blocking P3DFFT loop (64x64x256, no warm-up, 4 iterations):")
+    results = {}
+    for flavor in ("intelmpi", "bluesmpi", "proposed"):
+        prof = p3dfft_phase(flavor, SPEC, 64, 64, 256, iters=4)
+        results[flavor] = prof
+        print(
+            f"  {flavor:10s} overall {prof.overall * 1e3:7.3f} ms   "
+            f"compute {prof.compute_time * 1e3:7.3f} ms   "
+            f"in-MPI {prof.mpi_time * 1e3:7.3f} ms"
+        )
+    base = results["intelmpi"].overall
+    print("\nnormalised to IntelMPI:")
+    for flavor, prof in results.items():
+        print(f"  {flavor:10s} {prof.overall / base:5.3f}x")
+    print(
+        "\nBluesMPI pays the staging bounce plus first-call registrations "
+        "(no warm-up hides them at the application level, Section VIII-D)."
+    )
+
+
+if __name__ == "__main__":
+    main()

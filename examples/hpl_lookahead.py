@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""HPL's look-ahead panel broadcast on the four runtime variants.
+
+First validates the numerics: a real blocked LU factorization whose
+panel broadcasts move genuine bytes through each runtime, checked as
+``L @ U == A``.  Then runs the HPL cost model (the Fig 17 experiment at
+one problem size) comparing:
+
+* IntelMPI-HPL-1ring  -- stock HPL: p2p ring, CPU-driven forwarding
+* IntelMPI-Ibcast     -- host non-blocking broadcast (scatter-allgather)
+* BluesMPI            -- staged DPU offload
+* Proposed            -- group-offloaded ring over cross-GVMI
+
+Run:  python examples/hpl_lookahead.py
+"""
+
+from repro.apps.hpl import hpl_run, lu_validate
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2)
+PERF_SPEC = ClusterSpec(nodes=4, ppn=16, proxies_per_dpu=4)
+
+
+def main() -> None:
+    print("numeric validation (distributed blocked LU, n=32, nb=8):")
+    for flavor in ("intelmpi", "bluesmpi", "proposed"):
+        ok = lu_validate(flavor, SPEC, n=32, nb=8)
+        print(f"  {flavor:10s} L @ U == A : {'OK' if ok else 'FAIL'}")
+
+    n = 5056
+    print(f"\nperformance model: n={n}, nb=128, "
+          f"{PERF_SPEC.world_size} ranks on a 4x16 grid:")
+    variants = [
+        ("IntelMPI-1ring", "intelmpi", "1ring"),
+        ("IntelMPI-Ibcast", "intelmpi", "ibcast"),
+        ("BluesMPI", "bluesmpi", "ibcast"),
+        ("Proposed", "proposed", "ibcast"),
+    ]
+    results = {}
+    for label, flavor, bc in variants:
+        r = hpl_run(flavor, PERF_SPEC, n=n, nb=128, bcast=bc,
+                    tests_per_update=3, grid=(4, 16), max_steps=40)
+        results[label] = r
+    base = results["IntelMPI-1ring"].total
+    for label, r in results.items():
+        print(
+            f"  {label:16s} total {r.total * 1e3:8.3f} ms "
+            f"({r.total / base:5.3f}x of 1ring)   comm {r.comm_time * 1e3:7.3f} ms"
+        )
+    print(
+        "\nthe proposed ring runs on the DPUs: no CPU intervention between "
+        "hops, so the look-ahead window actually hides the broadcast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Fig 1 / Listings 1 & 5), side by side.
+
+A ring broadcast -- rank 0's panel forwarded hop by hop -- while every
+rank computes.  Three implementations:
+
+1. **Standard MPI** (Listing 1): non-blocking Isend/Irecv with the
+   ``while (!complete) {{ do_compute(); MPI_Test(); }}`` loop.  A middle
+   rank can only forward once its CPU notices the arrival -> the ring
+   stalls on compute boundaries.
+2. **Staging offload**: the same pattern recorded with Group primitives
+   but executed with the state-of-the-art staging mechanism (every hop
+   bounces through DPU DRAM).
+3. **Proposed cross-GVMI offload** (Listing 5): the recorded pattern
+   executes on the DPU proxies with direct host-to-host data movement.
+
+Run:  python examples/ring_broadcast.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import SimBarrier
+from repro.hw import Cluster, ClusterSpec
+from repro.mpi import MpiWorld
+from repro.offload import OffloadFramework
+
+RANKS = 4
+SIZE = 64 * 1024
+COMPUTE = 30e-6
+CHUNK = 10e-6
+
+
+def mpi_ring() -> float:
+    cluster = Cluster(ClusterSpec(nodes=RANKS, ppn=1))
+    world = MpiWorld(cluster)
+    barrier = SimBarrier(cluster.sim, RANKS)
+    finish = {}
+
+    def program(rt):
+        comm = world.comm_world
+        buf = rt.ctx.space.alloc(SIZE, fill=1)
+        for it in range(2):  # first iteration warms registration caches
+            yield from barrier.arrive()
+            t0 = rt.sim.now
+            if rt.rank == 0:
+                req = yield from rt.isend(comm, 1, buf, SIZE, tag=it)
+            else:
+                req = yield from rt.irecv(comm, rt.rank - 1, buf, SIZE, tag=it)
+            remaining = COMPUTE
+            while remaining > 0:  # Listing 1's compute/test loop
+                step = min(CHUNK, remaining)
+                yield rt.ctx.consume(step)
+                remaining -= step
+                yield from rt.test(req)
+            yield from rt.wait(req)
+            if 0 < rt.rank < RANKS - 1:
+                fwd = yield from rt.isend(comm, rt.rank + 1, buf, SIZE, tag=it)
+                yield from rt.wait(fwd)
+            finish[(it, rt.rank)] = rt.sim.now - t0
+        return None
+
+    world.run(program)
+    return max(v for (it, _r), v in finish.items() if it == 1)
+
+
+def offload_ring(mode: str) -> float:
+    cluster = Cluster(ClusterSpec(nodes=RANKS, ppn=1, proxies_per_dpu=1))
+    framework = OffloadFramework(cluster, mode=mode)
+    barrier = SimBarrier(cluster.sim, RANKS)
+    finish = {}
+
+    def make(rank):
+        def prog(sim):
+            ep = framework.endpoint(rank)
+            buf = ep.ctx.space.alloc(SIZE, fill=1)
+            # Listing 5: record the whole dependent pattern up front.
+            greq = ep.group_start()
+            if rank == 0:
+                ep.group_send(greq, buf, SIZE, dst=1, tag=4)
+                ep.group_barrier(greq)
+            else:
+                ep.group_recv(greq, buf, SIZE, src=rank - 1, tag=4)
+                ep.group_barrier(greq)  # Local_barrier_Goffload
+                if rank + 1 < RANKS:
+                    ep.group_send(greq, buf, SIZE, dst=rank + 1, tag=4)
+            ep.group_end(greq)
+            for it in range(2):
+                yield from barrier.arrive()
+                t0 = sim.now
+                yield from ep.group_call(greq)   # offload the whole graph
+                yield ep.ctx.consume(COMPUTE)    # do_compute()
+                yield from ep.group_wait(greq)
+                finish[(it, rank)] = sim.now - t0
+            return None
+
+        return prog
+
+    procs = [cluster.sim.process(make(r)(cluster.sim)) for r in range(RANKS)]
+    cluster.sim.run(until=cluster.sim.all_of(procs))
+    return max(v for (it, _r), v in finish.items() if it == 1)
+
+
+def main() -> None:
+    print(f"ring broadcast, {RANKS} ranks, {SIZE // 1024} KiB, "
+          f"{COMPUTE * 1e6:.0f} us compute per rank\n")
+    mpi = mpi_ring()
+    staged = offload_ring("staged")
+    gvmi = offload_ring("gvmi")
+    width = 44
+    for label, t in [
+        ("standard MPI (Listing 1)", mpi),
+        ("staging offload", staged),
+        ("proposed cross-GVMI offload (Listing 5)", gvmi),
+    ]:
+        bar = "#" * int(t / max(mpi, staged, gvmi) * width)
+        print(f"{label:42s} {t * 1e6:7.1f} us  {bar}")
+    print(
+        f"\nthe proposed scheme hides the ring almost entirely "
+        f"({gvmi * 1e6:.1f} us vs the {COMPUTE * 1e6:.0f} us compute floor)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment has setuptools 65 but no `wheel` package, so the
+PEP 517 editable path (which needs bdist_wheel) is unavailable. All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

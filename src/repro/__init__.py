@@ -1,0 +1,25 @@
+"""Reproduction of the IPDPS 2023 BlueField DPU communication-offload paper.
+
+Kandadi Suresh et al., *A Novel Framework for Efficient Offloading of
+Communication Operations to Bluefield SmartNICs* (IPDPS 2023),
+reproduced end-to-end on a discrete-event cluster simulator.
+
+Package tour (bottom-up):
+
+* :mod:`repro.sim` -- the deterministic event kernel everything runs on.
+* :mod:`repro.hw` -- the simulated machine (hosts, DPUs, HCAs, fabric).
+* :mod:`repro.verbs` -- RDMA verbs + the cross-GVMI extension.
+* :mod:`repro.mpi` -- a host-progressed MPI-like runtime (the baseline).
+* :mod:`repro.offload` -- **the paper's framework**: Basic and Group
+  primitives, DPU proxies, GVMI caches, request caches.
+* :mod:`repro.baselines` -- IntelMPI-like / BluesMPI-like backends.
+* :mod:`repro.apps` -- 3DStencil, P3DFFT, HPL, OMB-style benchmarks.
+* :mod:`repro.experiments` -- one module per paper figure.
+
+Start with ``examples/quickstart.py`` or
+``python -m repro.experiments.runall``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+    figures [figNN ...]   regenerate paper figures (see experiments.runall)
+    ablations             run the ablation studies
+    info                  print package / inventory summary
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _info() -> int:
+    import repro
+    from repro.experiments import ALL_FIGURES
+
+    print(f"repro {repro.__version__} -- IPDPS'23 BlueField offload reproduction")
+    print()
+    print("paper figures reproduced:")
+    for name in ALL_FIGURES:
+        print(f"  {name}")
+    print()
+    print("entry points:")
+    print("  python -m repro figures [figNN ...] [--scale quick|paper]")
+    print("  python -m repro ablations")
+    print("  pytest tests/                 # unit/integration/property tests")
+    print("  pytest benchmarks/ --benchmark-only")
+    print("  python examples/quickstart.py")
+    return 0
+
+
+def _ablations() -> int:
+    from repro.experiments import ablations
+
+    ok = True
+    for fn in (
+        ablations.run_reg_cache_ablation,
+        ablations.run_group_cache_ablation,
+        ablations.run_proxy_sweep,
+        ablations.run_dpu_generation,
+    ):
+        fig = fn()
+        print(fig.render())
+        print()
+        ok = ok and fig.all_passed
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args or args[0] in ("info", "--help", "-h"):
+        return _info()
+    if args[0] == "figures":
+        from repro.experiments.runall import main as runall_main
+
+        return runall_main(args[1:])
+    if args[0] == "ablations":
+        return _ablations()
+    print(f"unknown command {args[0]!r}; try `python -m repro info`")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

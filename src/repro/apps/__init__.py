@@ -1,0 +1,26 @@
+"""Applications and micro-benchmarks from the paper's evaluation.
+
+* :mod:`repro.apps.omb` -- OSU-micro-benchmark-style measurements:
+  non-blocking pingpong (Fig 4) and the non-blocking-collective overlap
+  methodology (Figs 13/14).
+* :mod:`repro.apps.stencil3d` -- the in-house 3DStencil overlap
+  benchmark (Figs 11/12): up to 6-neighbour halo exchange overlapped
+  with dummy compute.
+* :mod:`repro.apps.p3dfft` -- pencil-decomposed 3-D FFT with two
+  in-flight Ialltoalls per phase (Fig 16), numerically validated
+  against ``numpy.fft`` at small scale.
+* :mod:`repro.apps.hpl` -- HPL-like LU driver with look-ahead panel
+  broadcast (Fig 17): 1-ring over p2p vs Ibcast over each runtime.
+
+Every app is written against :class:`repro.baselines.base.CommBackend`,
+so one source drives all three runtimes.
+"""
+
+from repro.apps.harness import (
+    OverlapResult,
+    compute_with_tests,
+    dims_create,
+    mean,
+)
+
+__all__ = ["OverlapResult", "compute_with_tests", "dims_create", "mean"]

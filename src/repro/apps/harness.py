@@ -1,0 +1,82 @@
+"""Shared measurement utilities for the application benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+__all__ = ["mean", "dims_create", "compute_with_tests", "OverlapResult"]
+
+
+def mean(xs) -> float:
+    xs = list(xs)
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def dims_create(nprocs: int, ndims: int) -> list[int]:
+    """Balanced factorisation of ``nprocs`` into ``ndims`` factors
+    (similar in spirit to ``MPI_Dims_create``); descending order."""
+    dims = [1] * ndims
+    n = nprocs
+    f = 2
+    factors: list[int] = []
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+def compute_with_tests(be, reqs, total: float, chunk: float | None = 5e-6):
+    """Model an application compute region of ``total`` seconds that
+    pokes the library between chunks (the Listing-1 pattern).
+
+    A host-progressed MPI advances its protocol only inside those
+    ``test`` calls; the offloaded runtimes complete independently and
+    the tests are nearly free.  ``chunk=None`` models the pure OMB
+    overlap methodology -- one uninterrupted compute block with no
+    intermediate library calls at all.  A generator; returns the number
+    of test calls made.
+    """
+    if not isinstance(reqs, (list, tuple)):
+        reqs = [reqs]
+    if chunk is None:
+        if total > 0:
+            yield be.ctx.consume(total)
+        return 0
+    remaining = total
+    tests = 0
+    while remaining > 0:
+        step = min(chunk, remaining)
+        yield be.ctx.consume(step)
+        remaining -= step
+        if remaining > 0:
+            pending = [r for r in reqs if not r.complete]
+            if pending:
+                yield from be.test(pending[0])
+                tests += 1
+    return tests
+
+
+@dataclass
+class OverlapResult:
+    """One cell of an OMB-style overlap measurement (per size/config)."""
+
+    #: Average pure-communication time (post + immediate wait), seconds.
+    pure_comm: float
+    #: Average overall time of (post, compute, wait), seconds.
+    overall: float
+    #: The modelled compute duration used, seconds.
+    compute: float
+
+    @property
+    def overlap_pct(self) -> float:
+        """OMB non-blocking-collective overlap definition."""
+        if self.pure_comm <= 0:
+            return 0.0
+        return max(0.0, min(100.0, 100.0 * (1.0 - (self.overall - self.compute) / self.pure_comm)))

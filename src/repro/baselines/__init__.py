@@ -1,0 +1,33 @@
+"""Communication backends: the proposed framework and its baselines.
+
+All three MPI runtimes the paper compares are exposed behind one
+rank-local interface (:class:`~repro.baselines.base.CommBackend`) so the
+applications and benchmark harnesses are written once:
+
+* :class:`~repro.baselines.hostmpi.HostMpiBackend` -- "IntelMPI":
+  host-progressed point-to-point and collectives
+  (:mod:`repro.mpi` straight through).
+* :class:`~repro.baselines.bluesmpi.BluesMpiBackend` -- "BluesMPI":
+  non-blocking alltoall/bcast offloaded to the DPU through the
+  *staging* mechanism, per-call metadata exchange (no request caches),
+  warm-up-sensitive staging-buffer registration; point-to-point stays
+  on the host (BluesMPI does not offload p2p -- paper Section VIII-A).
+* :class:`~repro.offload.backend.ProposedBackend` -- the paper's
+  framework: Basic primitives for inter-node p2p, Group primitives for
+  collectives, cross-GVMI direct transfers, both cache layers.
+
+``make_backend(name, ...)`` builds a per-rank backend from a
+:class:`~repro.baselines.base.BackendStack`.
+"""
+
+from repro.baselines.base import BackendStack, CommBackend, make_stack
+from repro.baselines.bluesmpi import BluesMpiBackend
+from repro.baselines.hostmpi import HostMpiBackend
+
+__all__ = [
+    "BackendStack",
+    "BluesMpiBackend",
+    "CommBackend",
+    "HostMpiBackend",
+    "make_stack",
+]

@@ -1,0 +1,50 @@
+"""The "IntelMPI" baseline: a pure host-progressed MPI.
+
+This backend is the thinnest possible adapter over :mod:`repro.mpi`:
+non-blocking operations only advance while the CPU is inside an MPI
+call, collectives are round-scheduled point-to-point -- the exact
+behaviour whose overlap limitations motivate the paper (and which its
+3DStencil/Ialltoall/HPL experiments measure as the IntelMPI curves).
+
+``ibcast`` uses the binomial tree (the stand-in for "Intel-MPI's best
+Ibcast algorithm", Section VIII-D); the HPL harness separately drives
+the 1-ring algorithm over plain p2p, as HPL itself does.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CommBackend
+from repro.mpi import collectives as coll
+from repro.mpi.datatypes import CollectiveRequest, MpiRequest
+
+__all__ = ["HostMpiBackend"]
+
+
+class HostMpiBackend(CommBackend):
+    name = "intelmpi"
+
+    def _isend(self, comm, dst, addr, size, tag):
+        return (yield from self.rt._isend(comm, dst, addr, size, tag))
+
+    def _irecv(self, comm, src, addr, size, tag):
+        return (yield from self.rt._irecv(comm, src, addr, size, tag))
+
+    def _wait(self, req):
+        if not isinstance(req, (MpiRequest, CollectiveRequest)):
+            raise TypeError(f"host MPI cannot wait on {type(req).__name__}")
+        yield from self.rt._wait(req)
+
+    def _test(self, req):
+        yield self.ctx.consume(self.rt.params.mpi_call_overhead)
+        yield from self.rt._drain()
+        return bool(req.complete)
+
+    def _ialltoall(self, comm, send_addr, recv_addr, block):
+        return (yield from coll._ialltoall(self.rt, comm, send_addr, recv_addr, block))
+
+    def _ibcast(self, comm, root, addr, size):
+        return (yield from coll._ibcast(self.rt, comm, root, addr, size, "binomial"))
+
+    def ibcast_ring(self, comm, root, addr, size):
+        """HPL's 1-ring broadcast as a host-progressed collective."""
+        return self._timed(coll._ibcast(self.rt, comm, root, addr, size, "ring"))

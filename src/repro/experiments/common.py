@@ -1,0 +1,136 @@
+"""Series containers, table rendering and shape checks for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Series",
+    "ShapeCheck",
+    "FigureResult",
+    "SimBarrier",
+    "fmt_size",
+    "improvement_pct",
+]
+
+
+class SimBarrier:
+    """Zero-cost, out-of-band rank synchronisation for measurement.
+
+    Unlike a protocol barrier this consumes no simulated resources --
+    it exists purely to align measurement windows across ranks (the
+    role wall-clock synchronisation plays in real benchmark harnesses).
+    """
+
+    def __init__(self, sim, n: int):
+        from repro.sim import Event
+
+        self.sim = sim
+        self.n = n
+        self._count = 0
+        self._event = Event(sim)
+
+    def arrive(self):
+        """A generator: suspends until all ``n`` parties have arrived."""
+        from repro.sim import Event
+
+        self._count += 1
+        ev = self._event
+        if self._count == self.n:
+            self._count = 0
+            self._event = Event(self.sim)
+            ev.succeed(None)
+        if not ev.processed:
+            yield ev
+
+
+def fmt_size(nbytes: float) -> str:
+    n = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if n >= 10 or unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.0f}GiB"  # pragma: no cover
+
+
+def improvement_pct(baseline: float, ours: float) -> float:
+    """How much lower ``ours`` is than ``baseline`` (paper's convention)."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - ours) / baseline
+
+
+@dataclass
+class Series:
+    """One curve/bar group of a figure."""
+
+    label: str
+    x: list[Any]
+    y: list[float]
+    #: Unit of y (for table rendering), e.g. "us", "ms", "%", "x".
+    unit: str = ""
+
+    def value_at(self, xv) -> float:
+        return self.y[self.x.index(xv)]
+
+
+@dataclass
+class ShapeCheck:
+    """A qualitative assertion about a reproduced figure."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class FigureResult:
+    """Everything a figure reproduction produced."""
+
+    fig_id: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    checks: list[ShapeCheck] = field(default_factory=list)
+    notes: str = ""
+    #: Config used (scale, nodes, ppn, ...), recorded for EXPERIMENTS.md.
+    config: dict = field(default_factory=dict)
+
+    def series_by(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"{self.fig_id}: no series {label!r}")
+
+    def check(self, name: str, condition: bool, detail: str = "") -> None:
+        self.checks.append(ShapeCheck(name=name, passed=bool(condition), detail=detail))
+
+    @property
+    def all_passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    def render(self) -> str:
+        """Aligned text table: x down the rows, one column per series."""
+        lines = [f"== {self.fig_id}: {self.title} =="]
+        if self.config:
+            cfg = ", ".join(f"{k}={v}" for k, v in self.config.items())
+            lines.append(f"   [{cfg}]")
+        if self.series:
+            xs = self.series[0].x
+            head = f"{'x':>14s}" + "".join(
+                f"{s.label + ('(' + s.unit + ')' if s.unit else ''):>22s}"
+                for s in self.series
+            )
+            lines.append(head)
+            for i, xv in enumerate(xs):
+                row = f"{str(xv):>14s}"
+                for s in self.series:
+                    v = s.y[i] if i < len(s.y) else float("nan")
+                    row += f"{v:>22.3f}"
+                lines.append(row)
+        for c in self.checks:
+            mark = "PASS" if c.passed else "FAIL"
+            lines.append(f"  [{mark}] {c.name}" + (f" -- {c.detail}" if c.detail else ""))
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Regenerate every figure: ``python -m repro.experiments.runall``.
+
+Options:
+    figNN ...        only these figures (e.g. ``fig13 fig17``)
+    --scale SCALE    quick (default) or paper
+    --out DIR        also write each table to DIR/figNN.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_FIGURES
+
+__all__ = ["main", "run_figures"]
+
+
+def run_figures(names: list[str], scale: str = "quick") -> list:
+    results = []
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.time()
+        fig = module.run(scale=scale)
+        fig.config.setdefault("wall_seconds", round(time.time() - t0, 1))
+        results.append(fig)
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="*", help="figNN prefixes to run (default: all)")
+    parser.add_argument("--scale", default="quick", choices=["quick", "paper"])
+    parser.add_argument("--out", default=None, help="directory for per-figure text tables")
+    args = parser.parse_args(argv)
+
+    if args.figures:
+        selected = [
+            name for name in ALL_FIGURES
+            if any(name.startswith(prefix) for prefix in args.figures)
+        ]
+        if not selected:
+            print(f"no figures match {args.figures}; available: {ALL_FIGURES}")
+            return 2
+    else:
+        selected = list(ALL_FIGURES)
+
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    failed = 0
+    for fig in run_figures(selected, scale=args.scale):
+        text = fig.render()
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"{fig.fig_id}.txt").write_text(text + "\n")
+        if not fig.all_passed:
+            failed += 1
+    if failed:
+        print(f"{failed} figure(s) had failing shape checks")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Cluster assembly: nodes, fabric, process contexts, shared services."""
+
+from __future__ import annotations
+
+from repro.hw.fabric import Fabric
+from repro.hw.metrics import Metrics
+from repro.hw.node import Node, ProcessContext
+from repro.hw.params import ClusterSpec
+from repro.sim import RngRegistry, Simulator
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The complete simulated machine.
+
+    Construction wires up every node's HCA into one fabric and creates a
+    :class:`~repro.hw.node.ProcessContext` for each host rank and each
+    DPU proxy.  Higher layers (verbs, MPI, offload) attach their state to
+    these contexts; the cluster itself stays protocol-agnostic.
+    """
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self.params = spec.params
+        self.sim = Simulator()
+        self.metrics = Metrics()
+        self.rng = RngRegistry(spec.seed)
+
+        self.nodes: list[Node] = [Node(self, n) for n in range(spec.nodes)]
+        self.fabric = Fabric(self.sim, [n.hca for n in self.nodes], self.params,
+                             spec=spec)
+
+        #: Flat list of host rank contexts, indexed by MPI rank.
+        self.ranks: list[ProcessContext] = []
+        for rank in range(spec.world_size):
+            node_id = spec.node_of_rank(rank)
+            ctx = ProcessContext(
+                self, "host", node_id, global_id=rank, local_id=spec.local_rank(rank)
+            )
+            self.nodes[node_id].host_procs.append(ctx)
+            self.ranks.append(ctx)
+
+        #: Flat list of proxy contexts, node-major.
+        self.proxies: list[ProcessContext] = []
+        for node_id in range(spec.nodes):
+            for local_idx in range(spec.proxies_per_dpu):
+                gid = node_id * spec.proxies_per_dpu + local_idx
+                ctx = ProcessContext(
+                    self, "dpu", node_id, global_id=gid, local_id=local_idx
+                )
+                self.nodes[node_id].dpu_procs.append(ctx)
+                self.proxies.append(ctx)
+
+    # -- lookups -----------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        return self.spec.world_size
+
+    def rank_ctx(self, rank: int) -> ProcessContext:
+        return self.ranks[rank]
+
+    def proxy_ctx(self, node_id: int, local_idx: int) -> ProcessContext:
+        return self.nodes[node_id].dpu_procs[local_idx]
+
+    def proxy_for_rank(self, rank: int) -> ProcessContext:
+        """The DPU worker that serves ``rank`` (paper's modulo mapping)."""
+        node_id = self.spec.node_of_rank(rank)
+        return self.proxy_ctx(node_id, self.spec.proxy_of_rank(rank))
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.spec.node_of_rank(rank_a) == self.spec.node_of_rank(rank_b)
+
+    def run(self, until=None):
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)

@@ -1,0 +1,193 @@
+"""Message-level InfiniBand-like fabric.
+
+A single-switch topology (the paper's 32-node testbed hangs off one HDR
+switch): every inter-node message pays the wire latency plus one switch
+hop; host<->DPU traffic on the *same* node loops back through the HCA
+and pays the wire latency only (the paper notes local host-DPU
+transfers cost the same as remote ones).
+
+Contention is modelled with two unit resources per node -- a tx and an
+rx port -- each held for the message's serialization window in a
+store-and-forward discipline: serialize out of the source (tx), fly the
+wire, serialize into the destination (rx), deliver.  Dense patterns
+(alltoall incast) therefore queue exactly where the real fabric queues,
+and -- crucially -- a sender blocked by a busy receiver never parks its
+own tx port (no artificial head-of-line blocking; real NICs interleave
+packets of concurrent flows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.hw.nic import Hca
+from repro.hw.params import MachineParams
+from repro.sim import Event, Simulator
+
+__all__ = ["Delivery", "Transfer", "Fabric"]
+
+
+@dataclass
+class Delivery:
+    """What arrives at the destination when a message lands."""
+
+    src_node: int
+    dst_node: int
+    size: int
+    kind: str = "data"
+    #: Arbitrary sender-supplied metadata (protocol headers).
+    meta: Any = None
+    #: Simulated arrival time (stamped by the fabric).
+    time: float = field(default=0.0)
+
+
+@dataclass
+class Transfer:
+    """Handle returned by :meth:`Fabric.transfer`."""
+
+    delivered: Event
+    completed: Event
+    size: int
+
+
+class Fabric:
+    def __init__(self, sim: Simulator, hcas: list[Hca], params: MachineParams,
+                 spec=None):
+        self.sim = sim
+        self.hcas = hcas
+        self.params = params
+        #: Optional ClusterSpec for topology-aware hop counts (a
+        #: two-level leaf/spine fabric when spec.nodes_per_switch > 0).
+        self.spec = spec
+
+    def one_way_latency(self, src_node: int, dst_node: int) -> float:
+        if src_node == dst_node:
+            return self.params.wire_latency
+        hops = 1 if self.spec is None else self.spec.switch_hops(src_node, dst_node)
+        return self.params.wire_latency + hops * self.params.switch_hop_latency
+
+    def transfer(
+        self,
+        *,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        initiator: str,
+        src_mem: str = "host",
+        dst_mem: str = "host",
+        on_deliver: Optional[Callable[[Delivery], None]] = None,
+        meta: Any = None,
+        kind: str = "data",
+        bw_scale: float = 1.0,
+    ) -> Transfer:
+        """Start a one-sided data movement; post overhead is the caller's.
+
+        Returns immediately with a handle whose ``delivered`` event fires
+        when the last byte lands at the destination and whose
+        ``completed`` event fires when the initiator would see the CQE
+        (delivery + hardware ack).
+        """
+        if size < 0:
+            raise ValueError("negative message size")
+        src_hca = self.hcas[src_node]
+        dst_hca = self.hcas[dst_node]
+        delivered = self.sim.event()
+        completed = self.sim.event()
+        src_hca.count_post(initiator, size)
+        t_posted = self.sim.now
+
+        def _run():
+            serialization = src_hca.serialization_time(
+                size, initiator, src_mem, dst_mem
+            ) / max(1e-9, bw_scale)
+            tx_req = src_hca.tx.request()
+            yield tx_req
+            try:
+                yield self.sim.timeout(serialization)
+            finally:
+                src_hca.tx.release(tx_req)
+            yield self.sim.timeout(self.one_way_latency(src_node, dst_node))
+            rx_req = dst_hca.rx.request()
+            yield rx_req
+            try:
+                yield self.sim.timeout(serialization)
+            finally:
+                dst_hca.rx.release(rx_req)
+            dv = Delivery(
+                src_node=src_node,
+                dst_node=dst_node,
+                size=size,
+                kind=kind,
+                meta=meta,
+                time=self.sim.now,
+            )
+            if on_deliver is not None:
+                on_deliver(dv)
+            tracer = getattr(self, "tracer", None)
+            if tracer is not None:
+                tracer.record_arrow(
+                    f"node{src_node}", f"node{dst_node}", size, kind,
+                    t_posted, self.sim.now,
+                )
+            delivered.succeed(dv)
+            yield self.sim.timeout(self.params.ack_latency)
+            completed.succeed(dv)
+
+        self.sim.process(_run())
+        return Transfer(delivered=delivered, completed=completed, size=size)
+
+    def control(
+        self,
+        *,
+        src_node: int,
+        dst_node: int,
+        initiator: str,
+        inbox,
+        msg: Any,
+        size: Optional[int] = None,
+        src_mem: str = "host",
+        dst_mem: str = "host",
+    ) -> Event:
+        """Send a small control message into ``inbox`` (a Store).
+
+        Control messages ride the same engines as data (they *are* small
+        RDMA sends) but skip the completion plumbing; the returned event
+        fires at delivery.  Same-node host<->DPU control costs
+        ``ctrl_latency`` one way, matching the paper's observation that
+        the loopback path is latency-comparable to the wire.
+        """
+        nbytes = self.params.ctrl_bytes if size is None else size
+        src_hca = self.hcas[src_node]
+        dst_hca = self.hcas[dst_node]
+        delivered = self.sim.event()
+        src_hca.count_post(initiator, nbytes)
+        src_hca.metrics.add("fabric.control_msgs")
+        latency = (
+            self.params.ctrl_latency
+            if src_node == dst_node
+            else self.one_way_latency(src_node, dst_node)
+        )
+
+        def _run():
+            serialization = src_hca.serialization_time(nbytes, initiator, src_mem, dst_mem)
+            tx_req = src_hca.tx.request()
+            yield tx_req
+            try:
+                yield self.sim.timeout(serialization)
+            finally:
+                src_hca.tx.release(tx_req)
+            yield self.sim.timeout(latency)
+            rx_req = dst_hca.rx.request()
+            yield rx_req
+            try:
+                # Control messages are gap-bound; their rx dwell is the
+                # same single-packet window.
+                yield self.sim.timeout(serialization)
+            finally:
+                dst_hca.rx.release(rx_req)
+            inbox.put(msg)
+            delivered.succeed(msg)
+
+        self.sim.process(_run())
+        return delivered

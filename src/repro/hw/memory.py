@@ -1,0 +1,129 @@
+"""Per-process address spaces and byte-accurate buffers.
+
+Every simulated process (host rank or DPU proxy) owns an
+:class:`AddressSpace`: a bump allocator handing out integer virtual
+addresses backed by NumPy byte arrays.  Transfers can optionally carry
+real bytes, which is how the applications (stencil halo exchange, FFT
+transpose, LU panels) are validated numerically.
+
+Addresses are plain integers so they can serve directly as the
+registration-cache keys the paper describes (`(address, size)` within a
+per-rank array slot).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PAGE_SIZE", "pages_spanned", "AddressSpace"]
+
+#: Virtual-memory page size assumed by the registration cost model.
+PAGE_SIZE = 4096
+
+
+def pages_spanned(addr: int, size: int) -> int:
+    """Number of pages the byte range [addr, addr+size) touches."""
+    if size <= 0:
+        return 0
+    first = addr // PAGE_SIZE
+    last = (addr + size - 1) // PAGE_SIZE
+    return last - first + 1
+
+
+class AddressSpace:
+    """A bump-allocated virtual address space with NumPy-backed buffers.
+
+    ``alloc`` returns an integer address; ``read``/``write`` move real
+    bytes.  Freeing is supported but the allocator never reuses
+    addresses -- exactly what a registration cache wants (a given
+    ``(addr, size)`` always refers to the same logical buffer for the
+    lifetime of the run, unless the test deliberately frees and
+    re-allocates to exercise invalidation).
+    """
+
+    #: Allocations are aligned to this many bytes (page-aligned keeps the
+    #: page math honest).
+    ALIGN = 64
+
+    def __init__(self, owner: str = "?"):
+        self.owner = owner
+        self._next = PAGE_SIZE  # never hand out address 0
+        self._buffers: dict[int, np.ndarray] = {}
+        self._sizes: dict[int, int] = {}
+        #: Total bytes currently allocated (diagnostics).
+        self.allocated_bytes = 0
+
+    def alloc(self, size: int, fill: Optional[int] = None) -> int:
+        """Allocate ``size`` bytes, returning the base address."""
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        addr = self._next
+        step = (size + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        self._next += step
+        buf = np.zeros(size, dtype=np.uint8)
+        if fill is not None:
+            buf[:] = fill
+        self._buffers[addr] = buf
+        self._sizes[addr] = size
+        self.allocated_bytes += size
+        return addr
+
+    def alloc_like(self, array: np.ndarray) -> int:
+        """Allocate a buffer holding a copy of ``array``'s bytes."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        addr = self.alloc(raw.nbytes)
+        self._buffers[addr][:] = raw
+        return addr
+
+    def free(self, addr: int) -> None:
+        if addr not in self._buffers:
+            raise KeyError(f"{self.owner}: free of unknown address {addr:#x}")
+        self.allocated_bytes -= self._sizes[addr]
+        del self._buffers[addr]
+        del self._sizes[addr]
+
+    def size_of(self, addr: int) -> int:
+        return self._sizes[addr]
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        """True if [addr, addr+size) falls inside one allocation."""
+        base = self._find_base(addr)
+        if base is None:
+            return False
+        return addr - base + size <= self._sizes[base]
+
+    def _find_base(self, addr: int) -> Optional[int]:
+        if addr in self._buffers:
+            return addr
+        # Interior pointer: scan (allocations are few per process).
+        for base, size in self._sizes.items():
+            if base <= addr < base + size:
+                return base
+        return None
+
+    def view(self, addr: int, size: int) -> np.ndarray:
+        """A mutable uint8 view of [addr, addr+size)."""
+        base = self._find_base(addr)
+        if base is None:
+            raise KeyError(f"{self.owner}: no buffer covering address {addr:#x}")
+        off = addr - base
+        if off + size > self._sizes[base]:
+            raise ValueError(
+                f"{self.owner}: range [{addr:#x}, +{size}) overruns allocation "
+                f"of {self._sizes[base]} bytes at {base:#x}"
+            )
+        return self._buffers[base][off : off + size]
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self.view(addr, raw.nbytes)[:] = raw
+
+    def read(self, addr: int, size: int) -> np.ndarray:
+        """A *copy* of [addr, addr+size)."""
+        return self.view(addr, size).copy()
+
+    def read_as(self, addr: int, dtype, count: int) -> np.ndarray:
+        nbytes = np.dtype(dtype).itemsize * count
+        return self.view(addr, nbytes).copy().view(dtype)

@@ -1,0 +1,54 @@
+"""Cluster-wide counters.
+
+A single :class:`Metrics` object hangs off the :class:`~repro.hw.cluster.Cluster`
+and is incremented from every layer: NIC engines, registration paths,
+caches, proxies, the MPI runtime.  Experiments read it to report e.g.
+control-message counts (Fig 15's Simple-vs-Group comparison) or
+registration-cache hit rates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """A hierarchical counter bag: ``metrics.add("nic.host_posted")``."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        self._counters[key] += amount
+
+    def get(self, key: str) -> float:
+        return self._counters.get(key, 0.0)
+
+    def __getitem__(self, key: str) -> float:
+        return self.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def with_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters under ``prefix.`` (key is returned un-prefixed)."""
+        cut = len(prefix) + 1
+        return {
+            k[cut:]: v for k, v in self._counters.items() if k.startswith(prefix + ".")
+        }
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def report(self) -> str:
+        lines = [f"{k:<48s} {v:>14.3f}" for k, v in self]
+        return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""ConnectX-style HCA engine model.
+
+Each node has one HCA shared by the host CPUs and the BlueField ARM
+subsystem (the paper's nodes have a separate ConnectX-6 for host traffic
+and a BlueField-2 for offloaded traffic; modelling one shared engine
+with per-initiator injection gaps keeps the same contention behaviour
+while staying simple -- the asymmetry that matters is *who posts*, not
+which physical port carries the bytes).
+
+Cost model per message (LogGP-flavoured):
+
+* the **initiator** pays a post overhead on its own core
+  (charged by the caller, since it consumes that core's time);
+* the message occupies the node's **tx port** for
+  ``max(injection_gap(initiator), size / path_bandwidth)``;
+* the destination's **rx port** is held for the same serialization
+  window (this is what produces incast contention in dense patterns);
+* ``path_bandwidth = min(src_memory_bw, wire_bw, dst_memory_bw)`` --
+  a transfer touching DPU DRAM on either end is capped by it.
+"""
+
+from __future__ import annotations
+
+from repro.hw.metrics import Metrics
+from repro.hw.params import MachineParams
+from repro.sim import Resource, Simulator
+
+__all__ = ["Hca"]
+
+#: Memory locations a DMA can touch.
+MEM_KINDS = ("host", "dpu")
+#: Cores that can post work requests.
+INITIATOR_KINDS = ("host", "dpu")
+
+
+class Hca:
+    """Per-node HCA: tx/rx port resources plus cost helpers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        params: MachineParams,
+        metrics: Metrics,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.params = params
+        self.metrics = metrics
+        #: Outbound serialization engine (one QP scheduler's worth).
+        self.tx = Resource(sim, capacity=1)
+        #: Inbound delivery engine.
+        self.rx = Resource(sim, capacity=1)
+
+    # -- cost helpers -----------------------------------------------------
+    def injection_gap(self, initiator: str) -> float:
+        if initiator == "host":
+            return self.params.host_injection_gap
+        if initiator == "dpu":
+            return self.params.dpu_injection_gap
+        raise ValueError(f"unknown initiator kind {initiator!r}")
+
+    def post_overhead(self, initiator: str) -> float:
+        if initiator == "host":
+            return self.params.host_post_overhead
+        if initiator == "dpu":
+            return self.params.dpu_post_overhead
+        raise ValueError(f"unknown initiator kind {initiator!r}")
+
+    def memory_bandwidth(self, mem: str) -> float:
+        if mem == "host":
+            return self.params.host_memory_bandwidth
+        if mem == "dpu":
+            return self.params.dpu_memory_bandwidth
+        raise ValueError(f"unknown memory kind {mem!r}")
+
+    def path_bandwidth(self, src_mem: str, dst_mem: str) -> float:
+        return min(
+            self.memory_bandwidth(src_mem),
+            self.params.wire_bandwidth,
+            self.memory_bandwidth(dst_mem),
+        )
+
+    def serialization_time(
+        self, size: int, initiator: str, src_mem: str, dst_mem: str
+    ) -> float:
+        """Port occupancy of one message."""
+        gap = self.injection_gap(initiator)
+        bw = self.path_bandwidth(src_mem, dst_mem)
+        return max(gap, size / bw)
+
+    def count_post(self, initiator: str, size: int) -> None:
+        self.metrics.add(f"nic.{initiator}_posted_msgs")
+        self.metrics.add(f"nic.{initiator}_posted_bytes", size)

@@ -1,0 +1,103 @@
+"""Nodes and the software processes that run on them."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.hw.memory import AddressSpace
+from repro.hw.nic import Hca
+from repro.sim import Simulator, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import Cluster
+
+__all__ = ["ProcessContext", "Node"]
+
+
+class ProcessContext:
+    """One simulated OS process: a host MPI rank or a DPU proxy/worker.
+
+    Owns an address space (its virtual memory) and an inbox
+    :class:`~repro.sim.resources.Store` into which the fabric deposits
+    control messages.  All per-process protocol state (MPI runtime,
+    offload endpoint, proxy engine) hangs off the context via the
+    attributes the respective layers install.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        kind: str,
+        node_id: int,
+        global_id: int,
+        local_id: int,
+    ):
+        if kind not in ("host", "dpu"):
+            raise ValueError(f"unknown process kind {kind!r}")
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.kind = kind
+        self.node_id = node_id
+        #: Host ranks: the MPI rank.  Proxies: a global proxy index.
+        self.global_id = global_id
+        #: Index within this node (local rank / local proxy index).
+        self.local_id = local_id
+        self.space = AddressSpace(owner=f"{kind}{global_id}@n{node_id}")
+        self.inbox: Store = Store(cluster.sim)
+        #: Cumulative busy time this process has charged to its core
+        #: (diagnostics; incremented by :meth:`consume`).
+        self.busy_time = 0.0
+
+    # -- convenience ------------------------------------------------------
+    @property
+    def node(self) -> "Node":
+        return self.cluster.nodes[self.node_id]
+
+    @property
+    def hca(self) -> Hca:
+        return self.node.hca
+
+    @property
+    def mem_kind(self) -> str:
+        """Which DRAM this process's buffers live in."""
+        return self.kind
+
+    def consume(self, seconds: float):
+        """Occupy this process's core for ``seconds`` (a timeout event)."""
+        self.busy_time += seconds
+        tracer = getattr(self.cluster, "tracer", None)
+        if tracer is not None and seconds > 0:
+            tracer.record_span(self.trace_name, self.sim.now, self.sim.now + seconds)
+        return self.sim.timeout(seconds)
+
+    @property
+    def trace_name(self) -> str:
+        return f"{self.kind}{self.global_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind}{self.global_id} node={self.node_id}>"
+
+
+class Node:
+    """One cluster node: host CPUs + BlueField DPU behind a shared HCA."""
+
+    def __init__(self, cluster: "Cluster", node_id: int):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.hca = Hca(cluster.sim, node_id, cluster.params, cluster.metrics)
+        #: Host rank contexts living on this node (filled by Cluster).
+        self.host_procs: list[ProcessContext] = []
+        #: DPU proxy contexts (filled by Cluster).
+        self.dpu_procs: list[ProcessContext] = []
+
+    def host_proc(self, local_rank: int) -> ProcessContext:
+        return self.host_procs[local_rank]
+
+    def dpu_proc(self, local_idx: int) -> ProcessContext:
+        return self.dpu_procs[local_idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Node {self.node_id}: {len(self.host_procs)} host ranks, "
+            f"{len(self.dpu_procs)} proxies>"
+        )

@@ -1,0 +1,83 @@
+"""The classic host-side IB registration cache.
+
+Standard MPI libraries amortise ``ibv_reg_mr`` with a cache keyed by
+buffer address and size (paper Section II-C).  This is that cache: it
+serves the rendezvous path of the host runtime and the IB-side
+(receive-buffer) registrations of the offload framework.
+
+The GVMI caches of the offload framework are a different structure (an
+array of BSTs, keyed additionally by remote rank) and live in
+:mod:`repro.offload.gvmi_cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.node import ProcessContext
+from repro.verbs.mr import MemoryRegionHandle, reg_mr
+
+__all__ = ["RegistrationCache"]
+
+
+class RegistrationCache:
+    """Exact-match ``(addr, size)`` -> registration handle cache."""
+
+    def __init__(self, ctx: ProcessContext, name: str = "ib"):
+        self.ctx = ctx
+        self.name = name
+        self._entries: dict[tuple[int, int], MemoryRegionHandle] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek(self, addr: int, size: int) -> Optional[MemoryRegionHandle]:
+        """Non-charging lookup (for tests/diagnostics)."""
+        return self._entries.get((addr, size))
+
+    def get(self, addr: int, size: int):
+        """Return a registration handle, registering on miss.
+
+        A generator: ``handle = yield from cache.get(addr, size)``.
+        Charges the cache-lookup cost on a hit and the full
+        registration cost on a miss, mirroring how a real cache spends
+        time either way.
+
+        Like production registration caches (which pin whole memory
+        regions), a request is a hit when any cached registration
+        *covers* [addr, addr+size) -- e.g. HPL's shrinking panels keep
+        hitting the registration of the first, largest panel.
+        """
+        params = self.ctx.cluster.params
+        lookup = (
+            params.host_cache_lookup if self.ctx.kind == "host" else params.dpu_cache_lookup
+        )
+        yield self.ctx.consume(lookup)
+        metrics = self.ctx.cluster.metrics
+        entry = self._entries.get((addr, size))
+        if entry is None:
+            entry = self._find_covering(addr, size)
+        if entry is not None:
+            self.hits += 1
+            metrics.add(f"regcache.{self.name}.hit")
+            return entry
+        self.misses += 1
+        metrics.add(f"regcache.{self.name}.miss")
+        handle = yield from reg_mr(self.ctx, addr, size)
+        self._entries[(addr, size)] = handle
+        return handle
+
+    def _find_covering(self, addr: int, size: int) -> Optional[MemoryRegionHandle]:
+        for (base, length), handle in self._entries.items():
+            if base <= addr and addr + size <= base + length:
+                return handle
+        return None
+
+    def invalidate(self, addr: int, size: int) -> bool:
+        """Drop one entry (e.g. after a free); True if it existed."""
+        return self._entries.pop((addr, size), None) is not None
+
+    def clear(self) -> None:
+        self._entries.clear()

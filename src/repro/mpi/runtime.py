@@ -1,0 +1,422 @@
+"""The per-rank MPI runtime and its progress engine.
+
+Design notes
+------------
+
+All protocol traffic lands in one per-rank :class:`~repro.sim.resources.Store`
+(``incoming``); the progress engine is simply "drain the store and
+handle each item".  Crucially, **the store is only drained from inside
+MPI calls** -- ``isend``/``irecv``/``test``/``wait``/collectives.  While
+the application computes, arrivals pile up unhandled.  This is the
+faithful model of a host-progressed MPI and produces, by construction,
+the CPU-intervention delays of the paper's Figure 1 case (1) and
+Listing 1.
+
+Protocols:
+
+* **eager** (``size <= eager_threshold``): the sender snapshots the
+  payload into a bounce buffer (CPU copy), hands it to the NIC and
+  completes locally; the receiver pays a copy-out when it matches the
+  arrival.  No receiver CPU is needed for delivery -- only for the
+  match.
+* **rendezvous** (large messages): the sender registers its buffer
+  (through the registration cache) and sends an RTS carrying
+  ``(addr, rkey, size)``.  When the *receiver* next enters an MPI call
+  and matches the RTS, it registers its own buffer and issues an RDMA
+  READ; on read completion it sends a FIN which completes the sender's
+  request the next time the *sender* enters an MPI call.
+* **intra-node**: a shared-memory copy (never offloaded; both sides
+  pay CPU copies -- the reason the paper's 3DStencil overlap tops out
+  around 78%).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.hw.node import ProcessContext
+from repro.mpi.communicator import Communicator
+from repro.mpi.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CollectiveRequest,
+    Envelope,
+    MpiError,
+    MpiRequest,
+)
+from repro.mpi.matching import MatchingEngine, UnexpectedMessage
+from repro.mpi.regcache import RegistrationCache
+from repro.verbs.rdma import post_control, rdma_read
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.world import MpiWorld
+
+__all__ = ["MpiRuntime"]
+
+
+class MpiRuntime:
+    """Everything rank-local: queues, matching, caches, accounting."""
+
+    def __init__(self, world: "MpiWorld", ctx: ProcessContext):
+        self.world = world
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.rank = ctx.global_id
+        self.params = ctx.cluster.params
+        self.incoming = None  # created lazily to keep Store import local
+        from repro.sim import Store
+
+        self.incoming = Store(self.sim)
+        self.matching = MatchingEngine()
+        self.regcache = RegistrationCache(ctx, name="ib")
+        #: Rendezvous sends waiting for their FIN, by request id.
+        self._awaiting_fin: dict[int, MpiRequest] = {}
+        #: Active non-blocking collectives.
+        self._collectives: list[CollectiveRequest] = []
+        #: Total simulated time this rank spent inside MPI calls
+        #: (Fig 16c's "Time spent in MPI").
+        self.time_in_mpi = 0.0
+
+    # ------------------------------------------------------------------
+    # public API (timed wrappers)
+    # ------------------------------------------------------------------
+    def isend(self, comm: Communicator, dst: int, addr: int, size: int, tag: int = 0):
+        """Non-blocking send; returns an :class:`MpiRequest`."""
+        return self._timed(self._isend(comm, dst, addr, size, tag))
+
+    def irecv(self, comm: Communicator, src: int, addr: int, size: int, tag: int = ANY_TAG):
+        """Non-blocking receive; ``src`` may be :data:`ANY_SOURCE`."""
+        return self._timed(self._irecv(comm, src, addr, size, tag))
+
+    def send(self, comm: Communicator, dst: int, addr: int, size: int, tag: int = 0):
+        def _go():
+            req = yield from self._isend(comm, dst, addr, size, tag)
+            yield from self._wait(req)
+
+        return self._timed(_go())
+
+    def recv(self, comm: Communicator, src: int, addr: int, size: int, tag: int = ANY_TAG):
+        def _go():
+            req = yield from self._irecv(comm, src, addr, size, tag)
+            yield from self._wait(req)
+            return req
+
+        return self._timed(_go())
+
+    def test(self, req):
+        """One progress pass; returns True if ``req`` is complete."""
+        def _go():
+            yield self.ctx.consume(self.params.mpi_call_overhead)
+            yield from self._drain()
+            return self._is_complete(req)
+
+        return self._timed(_go())
+
+    def wait(self, req):
+        """Block (progressing) until ``req`` completes."""
+        return self._timed(self._wait(req))
+
+    def waitall(self, reqs: Iterable):
+        def _go():
+            for r in list(reqs):
+                yield from self._wait(r)
+
+        return self._timed(_go())
+
+    def progress(self):
+        """An explicit progress poke (``MPI_Test`` on nothing)."""
+        def _go():
+            yield self.ctx.consume(self.params.mpi_call_overhead)
+            yield from self._drain()
+
+        return self._timed(_go())
+
+    def sendrecv(self, comm: Communicator, dst: int, send_addr: int,
+                 send_size: int, src: int, recv_addr: int, recv_size: int,
+                 sendtag: int = 0, recvtag: int = ANY_TAG):
+        """``MPI_Sendrecv``: simultaneous send + receive, both completed.
+
+        Deadlock-free by construction (both operations are posted
+        non-blocking before either is waited)."""
+        def _go():
+            rreq = yield from self._irecv(comm, src, recv_addr, recv_size, recvtag)
+            sreq = yield from self._isend(comm, dst, send_addr, send_size, sendtag)
+            yield from self._wait(sreq)
+            yield from self._wait(rreq)
+            return rreq
+
+        return self._timed(_go())
+
+    def iprobe(self, comm: Communicator, src: int = ANY_SOURCE,
+               tag: int = ANY_TAG):
+        """``MPI_Iprobe``: progress once, then report whether a matching
+        message is queued (without consuming it).
+
+        Returns ``(flag, envelope-or-None)``."""
+        def _go():
+            yield self.ctx.consume(self.params.mpi_call_overhead)
+            yield from self._drain()
+            src_world = ANY_SOURCE if src == ANY_SOURCE else comm.world_rank(src)
+            for um in self.matching._unexpected:
+                if um.envelope.matches_recv(src_world, tag, comm.comm_id):
+                    return True, um.envelope
+            return False, None
+
+        return self._timed(_go())
+
+    # ------------------------------------------------------------------
+    # timing
+    # ------------------------------------------------------------------
+    def _timed(self, gen):
+        t0 = self.sim.now
+        try:
+            result = yield from gen
+        finally:
+            self.time_in_mpi += self.sim.now - t0
+        return result
+
+    # ------------------------------------------------------------------
+    # p2p internals
+    # ------------------------------------------------------------------
+    def _isend(self, comm: Communicator, dst: int, addr: int, size: int, tag: int):
+        if tag < 0:
+            raise MpiError("send tag must be non-negative")
+        if size < 0:
+            raise MpiError("negative message size")
+        src_world = self.rank
+        dst_world = comm.world_rank(dst)
+        env = Envelope(src=src_world, dst=dst_world, tag=tag, comm_id=comm.comm_id)
+        req = MpiRequest(
+            kind="send", rank=src_world, peer=dst_world, tag=tag,
+            comm_id=comm.comm_id, addr=addr, size=size,
+        )
+        yield self.ctx.consume(self.params.mpi_call_overhead)
+        if dst_world == src_world:
+            raise MpiError("self-sends must be copied locally (use sendrecv_self)")
+        cluster = self.ctx.cluster
+        if cluster.same_node(src_world, dst_world):
+            yield from self._shm_send(env, req)
+        elif size <= self.params.eager_threshold:
+            yield from self._eager_send(env, req)
+        else:
+            yield from self._rndv_send(env, req)
+        return req
+
+    def _eager_send(self, env: Envelope, req: MpiRequest) -> None:
+        ctx = self.ctx
+        # Copy into the bounce buffer: the snapshot is what eager means.
+        yield ctx.consume(req.size / self.params.copy_bandwidth)
+        payload = ctx.space.read(req.addr, req.size) if req.size else None
+        peer_rt = self.world.runtime(env.dst)
+        yield ctx.consume(ctx.hca.post_overhead("host"))
+        ctx.cluster.metrics.add("mpi.eager_sends")
+        ctx.cluster.fabric.transfer(
+            src_node=ctx.node_id,
+            dst_node=peer_rt.ctx.node_id,
+            size=req.size,
+            initiator="host",
+            src_mem="host",
+            dst_mem="host",
+            on_deliver=lambda dv: peer_rt.incoming.put(("eager", env, payload, req.size)),
+            kind="eager",
+        )
+        # Locally complete: the buffer is reusable once the NIC has it.
+        self._complete(req)
+
+    def _rndv_send(self, env: Envelope, req: MpiRequest) -> None:
+        handle = yield from self.regcache.get(req.addr, req.size)
+        peer_rt = self.world.runtime(env.dst)
+        req.state = "rts_sent"
+        self._awaiting_fin[req.req_id] = req
+        self.ctx.cluster.metrics.add("mpi.rndv_sends")
+        yield from post_control(
+            self.ctx,
+            peer_rt.ctx,
+            ("rts", env, req.size, handle.rkey, req.addr, req.req_id),
+            inbox=peer_rt.incoming,
+        )
+
+    def _shm_send(self, env: Envelope, req: MpiRequest) -> None:
+        ctx = self.ctx
+        p = self.params
+        yield ctx.consume(p.shm_cpu_cost + req.size / p.copy_bandwidth)
+        payload = ctx.space.read(req.addr, req.size) if req.size else None
+        peer_rt = self.world.runtime(env.dst)
+        delay = p.shm_latency + req.size / p.shm_bandwidth
+        ctx.cluster.metrics.add("mpi.shm_sends")
+
+        def _deliver():
+            yield self.sim.timeout(delay)
+            peer_rt.incoming.put(("shm", env, payload, req.size))
+
+        self.sim.process(_deliver())
+        self._complete(req)
+
+    def _irecv(self, comm: Communicator, src: int, addr: int, size: int, tag: int):
+        src_world = ANY_SOURCE if src == ANY_SOURCE else comm.world_rank(src)
+        req = MpiRequest(
+            kind="recv", rank=self.rank, peer=src_world, tag=tag,
+            comm_id=comm.comm_id, addr=addr, size=size,
+        )
+        yield self.ctx.consume(self.params.mpi_call_overhead)
+        um = self.matching.post_recv(req)
+        if um is not None:
+            yield from self._serve_matched(req, um.kind, um.envelope, um.payload, um.meta)
+        return req
+
+    # ------------------------------------------------------------------
+    # the progress engine
+    # ------------------------------------------------------------------
+    def _drain(self):
+        """Handle everything currently queued, then advance collectives."""
+        while True:
+            ok, item = self.incoming.try_get()
+            if not ok:
+                break
+            yield from self._handle(item)
+        yield from self._advance_collectives()
+
+    def _wait(self, req):
+        yield self.ctx.consume(self.params.mpi_call_overhead)
+        yield from self._drain()
+        while not self._is_complete(req):
+            item = yield self.incoming.get()
+            yield from self._handle(item)
+            yield from self._drain()
+
+    def _is_complete(self, req) -> bool:
+        return bool(req.complete)
+
+    def _complete(self, req) -> None:
+        req.complete = True
+        req.complete_time = self.sim.now
+
+    def _handle(self, item) -> None:
+        kind = item[0]
+        if kind in ("eager", "shm"):
+            _, env, payload, size = item
+            yield self.ctx.consume(self.params.host_handler_cost)
+            matched = self.matching.match_arrival(env)
+            if matched is None:
+                self.matching.add_unexpected(
+                    UnexpectedMessage(env, kind, payload, size, self.sim.now)
+                )
+            else:
+                yield from self._serve_matched(matched, kind, env, payload, size)
+        elif kind == "rts":
+            _, env, size, rkey, raddr, send_req_id = item
+            yield self.ctx.consume(self.params.host_handler_cost)
+            matched = self.matching.match_arrival(env)
+            meta = (rkey, raddr, send_req_id)
+            if matched is None:
+                self.matching.add_unexpected(
+                    UnexpectedMessage(env, "rts", size, meta, self.sim.now)
+                )
+            else:
+                yield from self._serve_matched(matched, "rts", env, size, meta)
+        elif kind == "read_done":
+            _, recv_req, env, send_req_id = item
+            self._finish_recv(recv_req, env)
+            sender_rt = self.world.runtime(env.src)
+            yield from post_control(
+                self.ctx, sender_rt.ctx, ("fin", send_req_id), inbox=sender_rt.incoming
+            )
+        elif kind == "fin":
+            _, send_req_id = item
+            req = self._awaiting_fin.pop(send_req_id, None)
+            if req is None:
+                raise MpiError(f"FIN for unknown send request {send_req_id}")
+            self._complete(req)
+        else:
+            raise MpiError(f"unknown protocol item {kind!r}")
+
+    def _serve_matched(self, req: MpiRequest, kind: str, env: Envelope, payload, meta):
+        """A posted receive met its message (either order)."""
+        if kind in ("eager", "shm"):
+            size = meta
+            if size > req.size:
+                raise MpiError(
+                    f"message of {size} bytes overflows posted receive of {req.size}"
+                )
+            yield self.ctx.consume(size / self.params.copy_bandwidth)
+            if payload is not None and size:
+                self.ctx.space.write(req.addr, payload)
+            self._finish_recv(req, env)
+        elif kind == "rts":
+            size = payload  # for RTS items the payload slot carries the size
+            rkey, raddr, send_req_id = meta
+            if size > req.size:
+                raise MpiError(
+                    f"rendezvous message of {size} bytes overflows posted "
+                    f"receive of {req.size}"
+                )
+            handle = yield from self.regcache.get(req.addr, req.size)
+            transfer = yield from rdma_read(
+                self.ctx,
+                lkey=handle.lkey,
+                local_addr=req.addr,
+                rkey=rkey,
+                remote_addr=raddr,
+                size=size,
+            )
+
+            def _notify():
+                yield transfer.completed
+                self.incoming.put(("read_done", req, env, send_req_id))
+
+            self.sim.process(_notify())
+        else:  # pragma: no cover - defensive
+            raise MpiError(f"unknown matched kind {kind!r}")
+
+    def _finish_recv(self, req: MpiRequest, env: Envelope) -> None:
+        req.matched_src = env.src
+        req.matched_tag = env.tag
+        self._complete(req)
+
+    # ------------------------------------------------------------------
+    # non-blocking collectives plumbing
+    # ------------------------------------------------------------------
+    def start_collective(self, coll: CollectiveRequest):
+        """Register a collective and run its first round (a generator)."""
+        self._collectives.append(coll)
+        yield from self._start_round(coll)
+
+    def _start_round(self, coll: CollectiveRequest):
+        while coll.round_idx < len(coll.rounds):
+            round_fn = coll.rounds[coll.round_idx]
+            coll.active = yield from round_fn(self)
+            coll.round_idx += 1
+            if coll.active:
+                return
+            # Empty round (nothing for this rank to do): fall through.
+        self._finish_collective(coll)
+        if coll.on_complete is not None:
+            yield from coll.on_complete(self)
+
+    def _advance_collectives(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            for coll in list(self._collectives):
+                if coll.complete:
+                    continue
+                if coll.active and not all(r.complete for r in coll.active):
+                    continue
+                # Round finished -> start the next one.
+                yield from self._start_round(coll)
+                progressed = True
+
+    def _finish_collective(self, coll: CollectiveRequest) -> None:
+        coll.complete = True
+        coll.complete_time = self.sim.now
+        if coll in self._collectives:
+            self._collectives.remove(coll)
+
+    # ------------------------------------------------------------------
+    # local data movement helper
+    # ------------------------------------------------------------------
+    def copy_local(self, src_addr: int, dst_addr: int, size: int):
+        """memcpy within this rank (self-block of collectives)."""
+        yield self.ctx.consume(size / self.params.copy_bandwidth)
+        if size:
+            self.ctx.space.write(dst_addr, self.ctx.space.read(src_addr, size))

@@ -1,0 +1,455 @@
+"""Host-side API of the offload framework (paper Section VI).
+
+Name mapping to the paper's C-style listings:
+
+=============================  ==========================================
+Paper                          Here
+=============================  ==========================================
+``Init_Offload()``             ``OffloadFramework(cluster)``
+``Finalize_Offload()``         ``framework.finalize()``
+``Send_Offload(...)``          ``yield from ep.send_offload(...)``
+``Recv_Offload(...)``          ``yield from ep.recv_offload(...)``
+``Wait(&req)``                 ``yield from ep.wait(req)``
+``Group_Offload_start(&req)``  ``greq = ep.group_start()``
+``Send_Goffload(...)``         ``ep.group_send(greq, ...)``
+``Recv_Goffload(...)``         ``ep.group_recv(greq, ...)``
+``Local_barrier_Goffload``     ``ep.group_barrier(greq)``
+``Group_Offload_end(&req)``    ``ep.group_end(greq)``
+``Group_Offload_call(&req)``   ``yield from ep.group_call(greq)``
+``Group_Wait(&req)``           ``yield from ep.group_wait(greq)``
+=============================  ==========================================
+
+Recording functions (``group_send``/``group_recv``/``group_barrier``)
+cost nothing in simulated time: they only append to the request's op
+queue, as in the real library.  All cost is paid in ``group_call``
+(registration through the caches, the descriptor gather, the packet
+send) and then amortised away by the Section VII-D request caches on
+repeat calls.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.cluster import Cluster
+from repro.hw.node import ProcessContext
+from repro.mpi.regcache import RegistrationCache
+from repro.offload.group_cache import HostGroupCache
+from repro.offload.gvmi_cache import HostGvmiCache
+from repro.offload.proxy import ProxyEngine
+from repro.offload.requests import (
+    GroupOp,
+    OffloadError,
+    OffloadGroupRequest,
+    OffloadRequest,
+)
+from repro.sim import Event, Store
+from repro.verbs.gvmi import gvmi_id_of
+from repro.verbs.rdma import post_control
+
+__all__ = ["OffloadFramework", "OffloadEndpoint"]
+
+
+class _CompletionSink:
+    """Inbox adapter modelling the completion counter in host memory.
+
+    The proxy's FIN is an RDMA write to pinned host memory; observing it
+    costs the host nothing but a load.  Arrival therefore completes the
+    request and triggers its event directly, with no host-CPU protocol
+    handling -- the property that gives the framework its perfect
+    overlap.
+    """
+
+    def __init__(self, endpoint: "OffloadEndpoint"):
+        self.endpoint = endpoint
+
+    def put(self, req_id: int) -> None:
+        self.endpoint._complete_by_id(req_id)
+
+
+class OffloadFramework:
+    """``Init_Offload``: proxies launched, ranks assigned, GVMI-IDs shared.
+
+    The GVMI-ID generation happens "only once per protection domain ...
+    inside Init_Offload() and exchanged with all other processes"
+    (Section VII-A).  We model that one-time exchange as a setup delay
+    (an allgather over world + proxies) rather than simulating each of
+    the O(ranks x proxies) tiny messages individually.
+    """
+
+    def __init__(self, cluster: Cluster, mode: str = "gvmi",
+                 group_caching: bool = True, gvmi_caching: bool = True):
+        if mode not in ("gvmi", "staged"):
+            raise OffloadError(f"unknown offload mode {mode!r}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        #: "gvmi": the proposed direct cross-GVMI mechanism.
+        #: "staged": bounce through DPU DRAM (the BluesMPI-style baseline).
+        self.mode = mode
+        #: Section VII-D request caching (off reproduces the unoptimised /
+        #: state-of-the-art per-call metadata exchange).
+        self.group_caching = group_caching
+        #: Section VII-B registration caching (off = register every time;
+        #: the ablation for the array-of-BST cache design).
+        self.gvmi_caching = gvmi_caching
+        self._endpoints: list[OffloadEndpoint] = [
+            OffloadEndpoint(self, ctx) for ctx in cluster.ranks
+        ]
+        self._proxy_engines: dict[int, ProxyEngine] = {
+            ctx.global_id: ProxyEngine(self, ctx) for ctx in cluster.proxies
+        }
+        p = cluster.params
+        world = cluster.world_size + len(cluster.proxies)
+        setup = 2 * p.ctrl_latency + max(1, world - 1).bit_length() * (
+            p.wire_latency + p.switch_hop_latency + p.host_injection_gap
+        )
+        self.ready: Event = self.sim.timeout(setup)
+        self.finalized = False
+
+    def endpoint(self, rank: int) -> "OffloadEndpoint":
+        return self._endpoints[rank]
+
+    def proxy_engine(self, proxy_ctx: ProcessContext) -> ProxyEngine:
+        return self._proxy_engines[proxy_ctx.global_id]
+
+    def proxy_engine_for_rank(self, rank: int) -> ProxyEngine:
+        return self._proxy_engines[self.cluster.proxy_for_rank(rank).global_id]
+
+    def finalize(self) -> None:
+        """``Finalize_Offload``: stop every proxy loop."""
+        if self.finalized:
+            return
+        self.finalized = True
+        for engine in self._proxy_engines.values():
+            engine.ctx.inbox.put(("stop",))
+
+    # -- diagnostics --------------------------------------------------------
+    def assert_quiescent(self) -> None:
+        """Raise if any proxy still holds unmatched or in-flight work."""
+        for engine in self._proxy_engines.values():
+            if engine.queued_rts or engine.queued_rtr:
+                raise OffloadError(
+                    f"proxy {engine.ctx.global_id}: unmatched RTS={engine.queued_rts} "
+                    f"RTR={engine.queued_rtr}"
+                )
+            if engine.counters.pending_waits:
+                raise OffloadError(
+                    f"proxy {engine.ctx.global_id}: executors still waiting on counters"
+                )
+        for ep in self._endpoints:
+            if ep._pending:
+                raise OffloadError(f"rank {ep.rank}: incomplete offload requests")
+
+
+class OffloadEndpoint:
+    """Per-host-rank handle to the framework (owns the host-side caches)."""
+
+    def __init__(self, framework: OffloadFramework, ctx: ProcessContext):
+        if ctx.kind != "host":
+            raise OffloadError("endpoints live on host ranks")
+        self.framework = framework
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.rank = ctx.global_id
+        self.params = ctx.cluster.params
+        self.gvmi_cache = HostGvmiCache(ctx, enabled=framework.gvmi_caching)
+        #: IB registration cache for *receive* buffers (Fig 9: "receive
+        #: buffers are registered using IB registration cache").
+        self.ib_cache = RegistrationCache(ctx, name=f"offload_ib_{self.rank}")
+        self.group_cache = HostGroupCache()
+        #: Control-message inbox (remote receive descriptors).
+        self.inbox = Store(self.sim)
+        self.completion_sink = _CompletionSink(self)
+        #: Requests awaiting their completion write, by req_id.
+        self._pending: dict[int, object] = {}
+        #: Remote receive descriptors gathered for my sends, keyed by
+        #: (destination rank, tag) -- Fig 9's matching key.  FIFO per
+        #: key, mirroring the proxy's queue discipline.
+        self._recv_descs: dict[tuple[int, int], list[dict]] = {}
+        self._ready_seen = False
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _ensure_ready(self):
+        if not self._ready_seen:
+            if not self.framework.ready.processed:
+                yield self.framework.ready
+            self._ready_seen = True
+
+    def _complete_by_id(self, req_id: int) -> None:
+        req = self._pending.pop(req_id, None)
+        if req is None:
+            raise OffloadError(f"completion write for unknown request {req_id}")
+        req.complete = True
+        req.complete_time = self.sim.now
+        if req.event is not None and not req.event.triggered:
+            req.event.succeed(req)
+
+    def _register_pending(self, req) -> None:
+        req.event = Event(self.sim)
+        self._pending[req.req_id] = req
+
+    # ------------------------------------------------------------------
+    # Basic primitives (Listing 2, Section VII-A)
+    # ------------------------------------------------------------------
+    def send_offload(self, addr: int, size: int, dst: int, tag: int):
+        """``Send_Offload``: GVMI-register, RTS to my proxy; returns request."""
+        yield from self._ensure_ready()
+        req = OffloadRequest(kind="send", rank=self.rank, peer=dst, tag=tag,
+                             addr=addr, size=size)
+        self._register_pending(req)
+        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        self.ctx.cluster.metrics.add("offload.basic_sends")
+        if self.framework.mode == "staged":
+            # Staging: the proxy will RDMA-READ the source buffer, so a
+            # plain IB registration (rkey) suffices -- no GVMI involved.
+            handle = yield from self.ib_cache.get(addr, size)
+            rts = {
+                "src": self.rank, "dst": dst, "tag": tag,
+                "addr": addr, "size": size,
+                "rkey": handle.rkey,
+                "req_id": req.req_id,
+            }
+        else:
+            gvmi = gvmi_id_of(proxy)
+            mkey = yield from self.gvmi_cache.get(proxy, gvmi, addr, size)
+            rts = {
+                "src": self.rank, "dst": dst, "tag": tag,
+                "addr": addr, "size": size,
+                # The mkey's own registered range (may cover more than
+                # this transfer): the proxy cross-registers exactly it.
+                "reg_addr": mkey.addr, "reg_size": mkey.size,
+                "mkey": mkey.key, "gvmi_id": gvmi,
+                "req_id": req.req_id,
+            }
+        yield from post_control(self.ctx, proxy, ("rts", rts))
+        return req
+
+    def recv_offload(self, addr: int, size: int, src: int, tag: int):
+        """``Recv_Offload``: IB-register, RTR to the *sender's* proxy."""
+        yield from self._ensure_ready()
+        req = OffloadRequest(kind="recv", rank=self.rank, peer=src, tag=tag,
+                             addr=addr, size=size)
+        self._register_pending(req)
+        handle = yield from self.ib_cache.get(addr, size)
+        proxy = self.framework.cluster.proxy_for_rank(src)
+        self.ctx.cluster.metrics.add("offload.basic_recvs")
+        yield from post_control(
+            self.ctx,
+            proxy,
+            ("rtr", {
+                "src": src, "dst": self.rank, "tag": tag,
+                "addr": addr, "size": size,
+                "rkey": handle.rkey,
+                "req_id": req.req_id,
+            }),
+        )
+        return req
+
+    def wait(self, req) -> None:
+        """``Wait``/``Group_Wait``: block until the completion write lands.
+
+        No protocol work happens here -- the host merely observes the
+        completion counter (so an application that computes instead of
+        waiting loses nothing: perfect overlap).
+        """
+        if not req.complete:
+            yield req.event
+        if isinstance(req, OffloadGroupRequest):
+            req.state = "ready"
+
+    def waitall(self, reqs) -> None:
+        for req in reqs:
+            yield from self.wait(req)
+
+    # ------------------------------------------------------------------
+    # Group primitives (Listing 4, Sections VII-C/D)
+    # ------------------------------------------------------------------
+    def group_start(self) -> OffloadGroupRequest:
+        """``Group_Offload_start``: a fresh recording request object."""
+        return OffloadGroupRequest(rank=self.rank)
+
+    def group_send(self, greq: OffloadGroupRequest, addr: int, size: int, dst: int, tag: int) -> None:
+        """``Send_Goffload``: record a send (no simulated cost)."""
+        greq.record(GroupOp("send", addr=addr, size=size, peer=dst, tag=tag))
+
+    def group_recv(self, greq: OffloadGroupRequest, addr: int, size: int, src: int, tag: int) -> None:
+        """``Recv_Goffload``: record a receive."""
+        greq.record(GroupOp("recv", addr=addr, size=size, peer=src, tag=tag))
+
+    def group_barrier(self, greq: OffloadGroupRequest) -> None:
+        """``Local_barrier_Goffload``: everything after starts only after
+        everything before completes (local to this rank's pattern)."""
+        greq.record(GroupOp("barrier"))
+
+    def group_end(self, greq: OffloadGroupRequest) -> None:
+        """``Group_Offload_end``: seal the recording."""
+        if greq.state != "recording":
+            raise OffloadError(f"Group_Offload_end in state {greq.state!r}")
+        greq.state = "ready"
+
+    def group_call(self, greq: OffloadGroupRequest):
+        """``Group_Offload_call``: offload the recorded pattern (Fig 9).
+
+        Cache miss: register every send buffer through the GVMI cache
+        and every receive buffer through the IB cache, exchange receive
+        descriptors with the sending hosts, match send entries against
+        the gathered remote receive entries by (rank, tag), and ship the
+        whole matched queue to the proxy as one contiguous packet.
+
+        Cache hit: ship only the request/plan ID.
+        """
+        yield from self._ensure_ready()
+        if greq.state == "recording":
+            raise OffloadError("Group_Offload_call before Group_Offload_end")
+        if greq.state == "inflight":
+            raise OffloadError("Group_Offload_call while a previous call is in flight")
+        greq.calls += 1
+        greq.complete = False
+        self._register_pending(greq)
+        greq.state = "inflight"
+
+        # Apply any descriptor updates that arrived since the last call
+        # (keeps cached plans from going stale; see group_cache).
+        yield from self._drain_inbox()
+
+        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        caching = self.framework.group_caching
+        plan = self.group_cache.lookup(greq.signature()) if caching else None
+        metrics = self.ctx.cluster.metrics
+        if plan is not None and plan.sent_to_proxy and not plan.dirty:
+            metrics.add("offload.group_call_cached")
+            yield from post_control(
+                self.ctx, proxy,
+                ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
+                                "req_id": greq.req_id}),
+            )
+            return greq
+
+        if plan is None:
+            metrics.add("offload.group_call_build")
+            entries = yield from self._build_entries(greq, proxy)
+            if caching:
+                plan = self.group_cache.insert(greq.signature(), entries)
+            else:
+                from repro.offload.group_cache import HostPlan, _plan_ids
+
+                plan = HostPlan(plan_id=next(_plan_ids), signature=greq.signature(),
+                                entries=entries)
+        else:
+            metrics.add("offload.group_call_reship")
+
+        packet = {
+            "plan_id": plan.plan_id,
+            "host_rank": self.rank,
+            "entries": plan.entries,
+            "req_id": greq.req_id,
+        }
+        nbytes = max(
+            self.params.ctrl_bytes,
+            len(plan.entries) * self.params.group_op_bytes,
+        )
+        yield from post_control(self.ctx, proxy, ("group_plan", packet), size=nbytes)
+        plan.sent_to_proxy = True
+        plan.dirty = False
+        return greq
+
+    def group_wait(self, greq: OffloadGroupRequest):
+        """``Group_Wait`` (alias of :meth:`wait` for group requests)."""
+        yield from self.wait(greq)
+
+    # ------------------------------------------------------------------
+    # group_call internals
+    # ------------------------------------------------------------------
+    def _build_entries(self, greq: OffloadGroupRequest, proxy: ProcessContext) -> list[dict]:
+        gvmi = gvmi_id_of(proxy)
+        entries: list[dict] = []
+        # Per-op bookkeeping cost of walking the recorded queue.
+        yield self.ctx.consume(self.params.host_cache_lookup * max(1, len(greq.ops)))
+
+        # Pass 1: register local buffers; send my receive descriptors to
+        # the hosts that will write into them.
+        needed: dict[tuple[int, int], int] = {}  # (dst=peer, tag) -> count needed
+        staged = self.framework.mode == "staged"
+        for op in greq.ops:
+            if op.kind == "send":
+                if staged:
+                    handle = yield from self.ib_cache.get(op.addr, op.size)
+                    entry = {
+                        "kind": "send", "addr": op.addr, "size": op.size,
+                        "dst": op.peer, "tag": op.tag,
+                        "src_rkey": handle.rkey,
+                        "dst_addr": None, "rkey": None,  # resolved in pass 2
+                    }
+                else:
+                    mkey = yield from self.gvmi_cache.get(proxy, gvmi, op.addr, op.size)
+                    entry = {
+                        "kind": "send", "addr": op.addr, "size": op.size,
+                        "dst": op.peer, "tag": op.tag,
+                        "reg_addr": mkey.addr, "reg_size": mkey.size,
+                        "mkey": mkey.key, "gvmi_id": gvmi,
+                        "dst_addr": None, "rkey": None,  # resolved in pass 2
+                    }
+                entries.append(entry)
+                needed[(op.peer, op.tag)] = needed.get((op.peer, op.tag), 0) + 1
+            elif op.kind == "recv":
+                handle = yield from self.ib_cache.get(op.addr, op.size)
+                entries.append({
+                    "kind": "recv", "addr": op.addr, "size": op.size,
+                    "src": op.peer, "tag": op.tag,
+                })
+                peer_ep = self.framework.endpoint(op.peer)
+                yield from post_control(
+                    self.ctx, peer_ep.ctx,
+                    ("gdesc", {
+                        "src": op.peer, "dst": self.rank, "tag": op.tag,
+                        "addr": op.addr, "size": op.size, "rkey": handle.rkey,
+                    }),
+                    inbox=peer_ep.inbox,
+                )
+            else:
+                entries.append({"kind": "barrier"})
+
+        # Pass 2: gather remote receive descriptors for my sends and
+        # match by (destination rank, tag) -- Fig 9's matching step.
+        for entry in entries:
+            if entry["kind"] != "send":
+                continue
+            key = (entry["dst"], entry["tag"])
+            desc = yield from self._await_descriptor(key)
+            if desc["size"] < entry["size"]:
+                raise OffloadError(
+                    f"group send of {entry['size']} bytes overflows remote "
+                    f"receive of {desc['size']} (dst={entry['dst']} tag={entry['tag']})"
+                )
+            entry["dst_addr"] = desc["addr"]
+            entry["rkey"] = desc["rkey"]
+        return entries
+
+    def _await_descriptor(self, key: tuple[int, int]) -> dict:
+        while True:
+            bucket = self._recv_descs.get(key)
+            if bucket:
+                return bucket.pop(0)
+            item = yield self.inbox.get()
+            yield from self._handle_inbox_item(item)
+
+    def _drain_inbox(self):
+        while True:
+            ok, item = self.inbox.try_get()
+            if not ok:
+                return
+            yield from self._handle_inbox_item(item)
+
+    def _handle_inbox_item(self, item):
+        kind = item[0]
+        yield self.ctx.consume(self.params.host_handler_cost)
+        if kind == "gdesc":
+            desc = item[1]
+            key = (desc["dst"], desc["tag"])
+            self._recv_descs.setdefault(key, []).append(desc)
+            # Patch cached plans if this supersedes an old descriptor.
+            self.group_cache.patch_descriptor(desc["src"], desc["tag"], desc["dst"], desc)
+        else:  # pragma: no cover - defensive
+            raise OffloadError(f"endpoint: unknown inbox item {kind!r}")

@@ -1,0 +1,115 @@
+"""Request caches for Group primitives (paper Section VII-D).
+
+Host side: keyed by the recorded pattern's signature.  An entry holds
+the fully-built plan (entries with resolved mkeys/rkeys and gathered
+remote buffer descriptors) plus the flag the paper describes --
+"whether request details were sent to the proxy rank".  On a hit the
+host sends the proxy *only the request/plan ID*, collapsing the
+per-call metadata exchange to one tiny message.
+
+DPU side: keyed by plan ID.  An entry holds the Group_op queue with the
+GVMI cache entries already attached, "saving the DPU process from
+searching the GVMI cache for each Group_op entry".
+
+A production concern the paper glosses over is handled explicitly: if a
+*receiver* re-records its side with different buffers, senders holding a
+cached plan would write to stale addresses.  Incoming descriptor
+updates therefore *patch* matching cached plans and mark them dirty, so
+the next call re-ships the corrected plan to the proxy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["HostPlan", "HostGroupCache", "DpuPlanCache"]
+
+_plan_ids = itertools.count(1)
+
+
+@dataclass
+class HostPlan:
+    """A prepared group pattern, ready to ship to the proxy."""
+
+    plan_id: int
+    signature: tuple
+    #: Prepared entries (dicts; see api._build_entries for the schema).
+    entries: list[dict]
+    #: True once the proxy holds a current copy of the entries.
+    sent_to_proxy: bool = False
+    #: True if a descriptor update invalidated the proxy's copy.
+    dirty: bool = False
+
+
+class HostGroupCache:
+    """Per-endpoint cache of prepared group plans."""
+
+    def __init__(self) -> None:
+        self._by_sig: dict[tuple, HostPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, signature: tuple) -> Optional[HostPlan]:
+        plan = self._by_sig.get(signature)
+        if plan is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return plan
+
+    def insert(self, signature: tuple, entries: list[dict]) -> HostPlan:
+        plan = HostPlan(plan_id=next(_plan_ids), signature=signature, entries=entries)
+        self._by_sig[signature] = plan
+        return plan
+
+    def patch_descriptor(self, src_rank: int, tag: int, dst_rank: int, desc: dict) -> int:
+        """Apply an updated remote receive descriptor to cached plans.
+
+        Returns the number of plans patched (and marked dirty).
+        """
+        patched = 0
+        for plan in self._by_sig.values():
+            changed = False
+            for entry in plan.entries:
+                if (
+                    entry["kind"] == "send"
+                    and entry["dst"] == dst_rank
+                    and entry["tag"] == tag
+                    and (entry["dst_addr"] != desc["addr"] or entry["rkey"] != desc["rkey"])
+                ):
+                    entry["dst_addr"] = desc["addr"]
+                    entry["rkey"] = desc["rkey"]
+                    changed = True
+            if changed:
+                plan.dirty = True
+                plan.sent_to_proxy = False
+                patched += 1
+        return patched
+
+    def __len__(self) -> int:
+        return len(self._by_sig)
+
+
+class DpuPlanCache:
+    """Per-proxy cache: plan_id -> prepared Group_op queue."""
+
+    def __init__(self) -> None:
+        self._plans: dict[int, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def store(self, plan_id: int, plan: dict[str, Any]) -> None:
+        self._plans[plan_id] = plan
+
+    def fetch(self, plan_id: int) -> Optional[dict[str, Any]]:
+        plan = self._plans.get(plan_id)
+        if plan is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return plan
+
+    def __len__(self) -> int:
+        return len(self._plans)

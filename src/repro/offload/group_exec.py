@@ -1,0 +1,159 @@
+"""Proxy-side execution of a Group_Offload_packet (Fig 10, Algorithm 1).
+
+The executor walks the Group_op queue:
+
+* **send** -- resolve mkey2 (from the entry's cached key if the plan is
+  cached, else through the DPU GVMI cache), post the RDMA write on the
+  host's behalf, remember the destination rank in ``sendRankSet``;
+* **recv** -- remember the source rank in ``recvRankSet``;
+* **barrier** (``Local_barrier_Goffload``) -- bump ``numBarriers``;
+  wait for every send posted since the previous barrier to complete;
+  RDMA-write the barrier count to the proxies of every rank in
+  ``sendRankSet``; then wait until the local counters from every rank
+  in ``recvRankSet`` reach ``numBarriers``.
+
+Waits are expressed as ``(PARK, event)`` yields: the proxy's progress
+engine suspends this executor and serves other hosts -- Algorithm 1's
+"break from the function to the progress engine", which is what avoids
+deadlock when one proxy carries both sides of a dependence.
+
+After the last entry an implicit final epoch (``numBarriers + 1``)
+flushes trailing sends' counters and waits for trailing receives; then
+one RDMA write sets the completion counter in host memory
+(``Group_Wait`` returns without any host-CPU protocol work).
+
+Like the paper's algorithm, barrier matching assumes the communicating
+ranks record the same number of barriers (true for every pattern in the
+evaluation: rings, alltoalls, stencils).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.offload.proxy import PARK
+from repro.offload.requests import OffloadError
+from repro.verbs.rdma import rdma_write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.offload.proxy import ProxyEngine
+
+__all__ = ["GroupExecutor"]
+
+
+class GroupExecutor:
+    """One in-flight Group_Offload_packet on one proxy."""
+
+    def __init__(self, engine: "ProxyEngine", plan: dict, req_id: int, seqs: dict, cached: bool):
+        self.engine = engine
+        self.plan = plan
+        self.req_id = req_id
+        #: per host-pair sequence numbers assigned at launch.
+        self.seqs = seqs
+        self.cached = cached
+        self.gen = self._run()
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        engine = self.engine
+        ctx = engine.ctx
+        params = engine.params
+        host_rank = self.plan["host_rank"]
+        send_set: set[int] = set()
+        recv_set: set[int] = set()
+        pending: list = []  # completion events of sends since last barrier
+        num_barriers = 0
+
+        for entry in self.plan["entries"]:
+            kind = entry["kind"]
+            if kind == "send":
+                if engine.mode == "staged":
+                    done = yield from engine.staged_send_start(
+                        src_rkey=entry["src_rkey"], src_addr=entry["addr"],
+                        size=entry["size"],
+                        dst_rkey=entry["rkey"], dst_addr=entry["dst_addr"],
+                    )
+                    pending.append(done)
+                else:
+                    mkey2_key = entry.get("mkey2")
+                    if mkey2_key is None:
+                        info = yield from engine.gvmi_cache.get(
+                            host_rank, entry["gvmi_id"], entry["mkey"],
+                            entry.get("reg_addr", entry["addr"]),
+                            entry.get("reg_size", entry["size"]),
+                        )
+                        mkey2_key = info.key
+                        # Attach for future cached invocations (Section
+                        # VII-D: "the group entry queue also contains the
+                        # GVMI registration cache entry").
+                        entry["mkey2"] = mkey2_key
+                    transfer = yield from rdma_write(
+                        ctx,
+                        lkey=mkey2_key,
+                        src_addr=entry["addr"],
+                        rkey=entry["rkey"],
+                        dst_addr=entry["dst_addr"],
+                        size=entry["size"],
+                    )
+                    pending.append(transfer.completed)
+                send_set.add(entry["dst"])
+            elif kind == "recv":
+                recv_set.add(entry["src"])
+            elif kind == "barrier":
+                num_barriers += 1
+                yield ctx.consume(params.dpu_handler_cost * 0.5)
+                yield from self._flush_segment(pending, send_set, host_rank, num_barriers)
+                pending = []
+                send_set.clear()
+                yield from self._await_recvs(recv_set, host_rank, num_barriers)
+                recv_set.clear()
+            else:  # pragma: no cover - defensive
+                raise OffloadError(f"unknown Group_op kind {kind!r}")
+
+        # Implicit final epoch: flush trailing sends, await trailing recvs.
+        final_epoch = num_barriers + 1
+        yield from self._flush_segment(pending, send_set, host_rank, final_epoch)
+        yield from self._await_recvs(recv_set, host_rank, final_epoch)
+
+        # Clear this call's counters (the paper clears barrier counters).
+        for (src, dst), seq in self.seqs.items():
+            if dst == host_rank:
+                engine.counters.clear((src, dst, seq))
+
+        # Completion-counter RDMA write into host memory: Group_Wait
+        # observes it with zero host-side protocol work.
+        ep = engine.framework.endpoint(host_rank)
+        yield ctx.consume(ctx.hca.post_overhead("dpu"))
+        ctx.cluster.metrics.add("proxy.group_completions")
+        ctx.cluster.fabric.control(
+            src_node=ctx.node_id,
+            dst_node=ep.ctx.node_id,
+            initiator="dpu",
+            inbox=ep.completion_sink,
+            msg=self.req_id,
+            size=8,
+            src_mem="dpu",
+            dst_mem="host",
+        )
+
+    # ------------------------------------------------------------------
+    def _flush_segment(self, pending, send_set, host_rank, epoch):
+        """Wait for the segment's sends, then write counters to their peers."""
+        engine = self.engine
+        if pending:
+            incomplete = [ev for ev in pending if not ev.processed]
+            if incomplete:
+                yield (PARK, engine.sim.all_of(incomplete))
+        for dst in sorted(send_set):
+            seq = self.seqs[(host_rank, dst)]
+            yield from engine.write_counter_to(dst, (host_rank, dst, seq), epoch)
+
+    def _await_recvs(self, recv_set, host_rank, epoch):
+        """Park until every expected peer's counter reaches ``epoch``."""
+        engine = self.engine
+        for src in sorted(recv_set):
+            seq = self.seqs[(src, host_rank)]
+            ev = engine.counters.wait((src, host_rank, seq), epoch)
+            if not ev.processed:
+                yield (PARK, ev)
+            yield engine.ctx.consume(engine.params.dpu_handler_cost * 0.25)

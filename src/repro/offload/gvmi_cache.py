@@ -1,0 +1,171 @@
+"""Array-of-BST GVMI registration caches (paper Section VII-B).
+
+Two caches with the same two-level shape -- a first level indexed by
+remote rank (an array, "because there is only a finite number of ranks
+allowed in a communicator") and a second level that is a BST indexed by
+``(address, size)``:
+
+* the **host-side** cache memoises ``host_gvmi_register`` results
+  (mkeys).  Its array is indexed by the *mapped DPU proxy's* global
+  rank, because the GVMI-ID -- an input to the registration -- is a
+  function of which proxy will move the data.
+* the **DPU-side** cache memoises ``cross_register`` results (mkey2s).
+  Its array is indexed by the *host source rank*.  The paper's key
+  observation makes this sound: for a given host rank, the mkey is a
+  pure function of ``(addr, size, gvmi_id)``, so ``(rank, addr, size)``
+  uniquely identifies the cross-registration -- the extra inputs
+  (GVMI-ID, mkey) need not be part of the key.  We *verify* that
+  observation instead of assuming it: a cached entry whose stored mkey
+  disagrees with the one presented is treated as stale and re-registered
+  (and counted, so tests can assert it never happens in normal runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.node import ProcessContext
+from repro.offload.bst import AvlTree
+from repro.verbs.gvmi import cross_register, host_gvmi_register
+from repro.verbs.mr import KeyInfo
+
+__all__ = ["HostGvmiCache", "DpuGvmiCache"]
+
+
+class _ArrayOfBsts:
+    """First level: fixed-size array by rank; second level: AVL by (addr, size)."""
+
+    def __init__(self, slots: int):
+        self._slots: list[Optional[AvlTree]] = [None] * slots
+
+    def tree(self, index: int) -> AvlTree:
+        t = self._slots[index]
+        if t is None:
+            t = AvlTree()
+            self._slots[index] = t
+        return t
+
+    def peek(self, index: int, addr: int, size: int):
+        t = self._slots[index]
+        return None if t is None else t.find((addr, size))
+
+    def total_entries(self) -> int:
+        return sum(len(t) for t in self._slots if t is not None)
+
+    def trees(self):
+        return [t for t in self._slots if t is not None]
+
+
+class HostGvmiCache:
+    """Host-side mkey cache for one rank: [proxy rank] -> BST[(addr, size)]."""
+
+    def __init__(self, ctx: ProcessContext, enabled: bool = True):
+        if ctx.kind != "host":
+            raise ValueError("HostGvmiCache lives on host processes")
+        self.ctx = ctx
+        #: Ablation switch: disabled -> every get registers afresh.
+        self.enabled = enabled
+        n_proxies = len(ctx.cluster.proxies)
+        self._store = _ArrayOfBsts(n_proxies)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, proxy: ProcessContext, gvmi_id: int, addr: int, size: int):
+        """mkey KeyInfo for (addr, size) under ``proxy``'s GVMI.
+
+        A generator: ``info = yield from cache.get(...)``; charges the
+        lookup cost, and the registration cost on a miss.
+        """
+        metrics = self.ctx.cluster.metrics
+        if not self.enabled:
+            self.misses += 1
+            metrics.add("gvmi_cache.host.miss")
+            return (yield from host_gvmi_register(self.ctx, addr, size, gvmi_id))
+        yield self.ctx.consume(self.ctx.cluster.params.host_cache_lookup)
+        tree = self._store.tree(proxy.global_id)
+        entry: Optional[KeyInfo] = tree.find((addr, size))
+        if entry is None:
+            # Like production registration caches, a cached mkey whose
+            # range *covers* the request is a hit (HPL's shrinking
+            # panels keep hitting the first, largest registration).
+            for (base, length), info in tree.items():
+                if base <= addr and addr + size <= base + length and info.gvmi_id == gvmi_id:
+                    entry = info
+                    break
+        if entry is not None:
+            self.hits += 1
+            metrics.add("gvmi_cache.host.hit")
+            return entry
+        self.misses += 1
+        metrics.add("gvmi_cache.host.miss")
+        info = yield from host_gvmi_register(self.ctx, addr, size, gvmi_id)
+        tree.insert((addr, size), info)
+        return info
+
+    def peek(self, proxy_rank: int, addr: int, size: int):
+        return self._store.peek(proxy_rank, addr, size)
+
+    def invalidate(self, proxy_rank: int, addr: int, size: int) -> bool:
+        t = self._store._slots[proxy_rank]
+        return bool(t and t.remove((addr, size)))
+
+    @property
+    def entries(self) -> int:
+        return self._store.total_entries()
+
+    def check_invariants(self) -> None:
+        for t in self._store.trees():
+            t.check_invariants()
+
+
+class DpuGvmiCache:
+    """DPU-side mkey2 cache for one proxy: [host rank] -> BST[(addr, size)]."""
+
+    def __init__(self, ctx: ProcessContext, enabled: bool = True):
+        if ctx.kind != "dpu":
+            raise ValueError("DpuGvmiCache lives on DPU proxy processes")
+        self.ctx = ctx
+        #: Ablation switch: disabled -> every get cross-registers afresh.
+        self.enabled = enabled
+        self._store = _ArrayOfBsts(ctx.cluster.world_size)
+        self.hits = 0
+        self.misses = 0
+        #: Times a cached entry's mkey disagreed with the presented one
+        #: (should stay zero; see module docstring).
+        self.stale_detected = 0
+
+    def get(self, host_rank: int, gvmi_id: int, mkey: int, addr: int, size: int):
+        """mkey2 KeyInfo, cross-registering on miss (a generator)."""
+        metrics = self.ctx.cluster.metrics
+        if not self.enabled:
+            self.misses += 1
+            metrics.add("gvmi_cache.dpu.miss")
+            return (yield from cross_register(self.ctx, addr, size, gvmi_id, mkey))
+        yield self.ctx.consume(self.ctx.cluster.params.dpu_cache_lookup)
+        tree = self._store.tree(host_rank)
+        entry: Optional[KeyInfo] = tree.find((addr, size))
+        if entry is not None:
+            if entry.parent_mkey == mkey:
+                self.hits += 1
+                metrics.add("gvmi_cache.dpu.hit")
+                return entry
+            # The paper argues this cannot happen; verify, don't assume.
+            self.stale_detected += 1
+            metrics.add("gvmi_cache.dpu.stale")
+            tree.remove((addr, size))
+        self.misses += 1
+        metrics.add("gvmi_cache.dpu.miss")
+        info = yield from cross_register(self.ctx, addr, size, gvmi_id, mkey)
+        tree.insert((addr, size), info)
+        return info
+
+    def peek(self, host_rank: int, addr: int, size: int):
+        return self._store.peek(host_rank, addr, size)
+
+    @property
+    def entries(self) -> int:
+        return self._store.total_entries()
+
+    def check_invariants(self) -> None:
+        for t in self._store.trees():
+            t.check_invariants()

@@ -1,0 +1,421 @@
+"""DPU proxy (worker) processes.
+
+Each proxy is one simulation process pinned to its own ARM core.  Its
+main loop drains the proxy inbox and dispatches (paper Figs. 8 and 10):
+
+* ``rts`` / ``rtr`` -- Basic-primitive control messages.  The proxy
+  keeps a send-request queue and a receive-request queue (headers
+  ordered by destination rank, as in Fig. 8); an arriving RTS searches
+  the receive queue, an arriving RTR searches the send queue; a match
+  moves the pair to the combined queue and is processed: cross-GVMI
+  registration (through the DPU cache), an RDMA write on the host's
+  behalf, then FIN "packets" -- completion-counter RDMA writes -- to
+  both host processes.
+* ``group_plan`` / ``group_call`` -- Group-primitive packets, executed
+  by :mod:`repro.offload.group_exec`.
+* internal items (``xfer_done``, ``resume``) that keep all ARM-time
+  serialized through this single loop.
+
+Deadlock avoidance follows Algorithm 1: an executor that must wait (for
+send completions at a barrier, or for peer barrier counters) *parks* --
+returns control to this progress engine -- so a proxy serving several
+host ranks keeps making progress for the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.hw.node import ProcessContext
+from repro.offload.group_cache import DpuPlanCache
+from repro.offload.gvmi_cache import DpuGvmiCache
+from repro.offload.requests import OffloadError
+from repro.offload.staging import StagingChannel
+from repro.sim import Event
+from repro.verbs.rdma import rdma_read, rdma_write
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.offload.api import OffloadFramework
+
+__all__ = ["ProxyEngine", "CounterBoard", "PARK"]
+
+#: Sentinel executors yield as ``(PARK, event)`` to suspend without
+#: holding the ARM core.
+PARK = "park"
+
+
+class CounterBoard:
+    """Barrier/flow counters written by peer proxies via RDMA.
+
+    Keys are ``(src_rank, dst_rank, seq)`` -- the host-process pair plus
+    a per-pair call sequence number that keeps concurrent group requests
+    (e.g. P3DFFT's two in-flight Ialltoalls) from colliding.  Values are
+    monotone epochs; a waiter for epoch *e* fires as soon as the counter
+    reaches *e* (counters arrive without ARM involvement: they are RDMA
+    writes to pre-registered memory that the executor polls).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._values: dict[tuple, int] = {}
+        self._waiters: dict[tuple, list[tuple[int, Event]]] = {}
+
+    def write(self, key: tuple, epoch: int) -> None:
+        cur = self._values.get(key, 0)
+        if epoch > cur:
+            self._values[key] = epoch
+        value = self._values[key]
+        waiters = self._waiters.get(key)
+        if waiters:
+            still = []
+            for want, ev in waiters:
+                if value >= want:
+                    ev.succeed(value)
+                else:
+                    still.append((want, ev))
+            if still:
+                self._waiters[key] = still
+            else:
+                del self._waiters[key]
+
+    def wait(self, key: tuple, epoch: int) -> Event:
+        ev = Event(self.sim)
+        if self._values.get(key, 0) >= epoch:
+            ev.succeed(self._values[key])
+        else:
+            self._waiters.setdefault(key, []).append((epoch, ev))
+        return ev
+
+    def clear(self, key: tuple) -> None:
+        """Drop a counter after its group completes (the paper clears them)."""
+        self._values.pop(key, None)
+
+    @property
+    def pending_waits(self) -> int:
+        return sum(len(v) for v in self._waiters.values())
+
+
+class _CounterSink:
+    """Inbox adapter: an arriving counter write lands straight in the board."""
+
+    def __init__(self, board: CounterBoard):
+        self.board = board
+
+    def put(self, msg) -> None:
+        key, epoch = msg
+        self.board.write(key, epoch)
+
+
+@dataclass
+class _PendingOp:
+    """One side of a Basic-primitive pair waiting for its match."""
+
+    kind: str  # "rts" | "rtr"
+    src: int
+    dst: int
+    tag: int
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+class ProxyEngine:
+    """Protocol engine of one DPU worker process."""
+
+    def __init__(self, framework: "OffloadFramework", ctx: ProcessContext):
+        if ctx.kind != "dpu":
+            raise OffloadError("ProxyEngine must run on a DPU context")
+        self.framework = framework
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.params = ctx.cluster.params
+        #: "gvmi" (proposed, direct cross-GVMI writes) or "staged"
+        #: (state-of-the-art bounce through DPU DRAM).
+        self.mode = framework.mode
+        self.gvmi_cache = DpuGvmiCache(ctx, enabled=framework.gvmi_caching)
+        self.plan_cache = DpuPlanCache()
+        self.staging = StagingChannel(ctx)
+        self.counters = CounterBoard(self.sim)
+        self.counter_sink = _CounterSink(self.counters)
+        #: Fig 8's request queues, keyed (src, dst, tag), FIFO within a key.
+        self._send_q: dict[tuple, list[_PendingOp]] = {}
+        self._recv_q: dict[tuple, list[_PendingOp]] = {}
+        #: Outbound per-(src,dst) group-call sequence numbers.
+        self._seq_out: dict[tuple[int, int], int] = {}
+        #: Inbound per-(src,dst) group-call sequence numbers.
+        self._seq_in: dict[tuple[int, int], int] = {}
+        #: Extension point: front-ends (e.g. the SHMEM layer) register
+        #: extra inbox-item handlers here: kind -> generator(engine, payload).
+        self.extra_handlers: dict[str, object] = {}
+        self.process = self.sim.process(self._main_loop())
+        self.process.name = f"proxy{ctx.global_id}"
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _main_loop(self):
+        while True:
+            item = yield self.ctx.inbox.get()
+            if item[0] == "stop":
+                return
+            yield from self._dispatch(item)
+
+    def _dispatch(self, item):
+        kind = item[0]
+        yield self.ctx.consume(self.params.dpu_handler_cost)
+        if kind == "rts":
+            yield from self._on_rts(item[1])
+        elif kind == "rtr":
+            yield from self._on_rtr(item[1])
+        elif kind == "xfer_done":
+            yield from self._on_xfer_done(item[1])
+        elif kind == "group_plan":
+            yield from self._on_group_plan(item[1])
+        elif kind == "group_call":
+            yield from self._on_group_call(item[1])
+        elif kind == "staged_write":
+            yield from self._on_staged_write(item[1])
+        elif kind == "resume":
+            yield from self._drive_executor(item[1], item[2])
+        elif kind in self.extra_handlers:
+            yield from self.extra_handlers[kind](self, item[1])
+        else:  # pragma: no cover - defensive
+            raise OffloadError(f"proxy: unknown inbox item {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Basic primitives: RTS/RTR matching (Fig 8)
+    # ------------------------------------------------------------------
+    def _on_rts(self, info: dict) -> None:
+        key = (info["src"], info["dst"], info["tag"])
+        yield self.ctx.consume(self.params.dpu_match_cost)
+        recvs = self._recv_q.get(key)
+        if recvs:
+            rtr = recvs.pop(0)
+            if not recvs:
+                del self._recv_q[key]
+            yield from self._process_pair(info, rtr.info)
+        else:
+            self._send_q.setdefault(key, []).append(
+                _PendingOp("rts", info["src"], info["dst"], info["tag"], info)
+            )
+
+    def _on_rtr(self, info: dict) -> None:
+        key = (info["src"], info["dst"], info["tag"])
+        yield self.ctx.consume(self.params.dpu_match_cost)
+        sends = self._send_q.get(key)
+        if sends:
+            rts = sends.pop(0)
+            if not sends:
+                del self._send_q[key]
+            yield from self._process_pair(rts.info, info)
+        else:
+            self._recv_q.setdefault(key, []).append(
+                _PendingOp("rtr", info["src"], info["dst"], info["tag"], info)
+            )
+
+    def _process_pair(self, rts: dict, rtr: dict) -> None:
+        """A matched send/recv: move the bytes on the hosts' behalf.
+
+        GVMI mode: cross-register, then a single direct host-to-host
+        RDMA write.  Staged mode: bounce through DPU DRAM (Fig 6).
+        """
+        if rts["size"] > rtr["size"]:
+            raise OffloadError(
+                f"offloaded send of {rts['size']} bytes overflows receive of "
+                f"{rtr['size']} (src={rts['src']} dst={rts['dst']} tag={rts['tag']})"
+            )
+        self.ctx.cluster.metrics.add("proxy.basic_pairs")
+        pair = {"rts": rts, "rtr": rtr}
+        if self.mode == "staged":
+            done = yield from self.staged_send_start(
+                src_rkey=rts["rkey"], src_addr=rts["addr"], size=rts["size"],
+                dst_rkey=rtr["rkey"], dst_addr=rtr["addr"],
+            )
+        else:
+            mkey2 = yield from self.gvmi_cache.get(
+                rts["src"], rts["gvmi_id"], rts["mkey"],
+                rts.get("reg_addr", rts["addr"]), rts.get("reg_size", rts["size"]),
+            )
+            transfer = yield from rdma_write(
+                self.ctx,
+                lkey=mkey2.key,
+                src_addr=rts["addr"],
+                rkey=rtr["rkey"],
+                dst_addr=rtr["addr"],
+                size=rts["size"],
+            )
+            done = transfer.completed
+
+        def _watch():
+            yield done
+            self.ctx.inbox.put(("xfer_done", pair))
+
+        self.sim.process(_watch())
+
+    # ------------------------------------------------------------------
+    # staged transfers (Fig 6's bounce path; used by BluesMPI-style mode)
+    # ------------------------------------------------------------------
+    def staged_send_start(self, *, src_rkey: int, src_addr: int, size: int,
+                          dst_rkey: int, dst_addr: int):
+        """Begin a staged transfer; returns an event that fires when the
+        bytes have landed at the destination host (a generator).
+
+        Phase 1 (here, ARM-serialized): acquire + RDMA-READ the source
+        buffer into DPU DRAM.  Phase 2 (via the inbox, so other work
+        interleaves): RDMA-WRITE from DPU DRAM to the destination.
+        """
+        done = Event(self.sim)
+        buf = yield from self.staging.acquire(size)
+        self.ctx.cluster.metrics.add("staging.transfers")
+        read = yield from rdma_read(
+            self.ctx,
+            lkey=buf.lkey,
+            local_addr=buf.addr,
+            rkey=src_rkey,
+            remote_addr=src_addr,
+            size=size,
+        )
+
+        def _after_read():
+            yield read.completed
+            self.ctx.inbox.put(("staged_write", (buf, size, dst_rkey, dst_addr, done)))
+
+        self.sim.process(_after_read())
+        return done
+
+    def _on_staged_write(self, args) -> None:
+        buf, size, dst_rkey, dst_addr, done = args
+        write = yield from rdma_write(
+            self.ctx,
+            lkey=buf.lkey,
+            src_addr=buf.addr,
+            rkey=dst_rkey,
+            dst_addr=dst_addr,
+            size=size,
+        )
+
+        def _after_write():
+            yield write.completed
+            self.staging.release(buf)
+            done.succeed(None)
+
+        self.sim.process(_after_write())
+
+    def _on_xfer_done(self, pair: dict) -> None:
+        """Data landed: send FIN completion writes to both host processes."""
+        fw = self.framework
+        for side, req_key in (("rts", "src_req"), ("rtr", "dst_req")):
+            info = pair[side]
+            host_rank = info["src"] if side == "rts" else info["dst"]
+            ep = fw.endpoint(host_rank)
+            yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+            self.ctx.cluster.metrics.add("proxy.fin_writes")
+            self.ctx.cluster.fabric.control(
+                src_node=self.ctx.node_id,
+                dst_node=ep.ctx.node_id,
+                initiator="dpu",
+                inbox=ep.completion_sink,
+                msg=info["req_id"],
+                src_mem="dpu",
+                dst_mem="host",
+            )
+
+    # ------------------------------------------------------------------
+    # Group primitives (Figs 9-10, Algorithm 1)
+    # ------------------------------------------------------------------
+    def _on_group_plan(self, packet: dict) -> None:
+        """Full plan arriving (host cache miss or dirty plan re-ship)."""
+        # Per-entry unpack cost: the packet is a contiguous message the
+        # ARM walks once.
+        yield self.ctx.consume(
+            self.params.dpu_handler_cost * 0.25 * max(1, len(packet["entries"]))
+        )
+        plan = {
+            "plan_id": packet["plan_id"],
+            "host_rank": packet["host_rank"],
+            "entries": packet["entries"],
+        }
+        self.plan_cache.store(packet["plan_id"], plan)
+        yield from self._launch_plan(plan, packet["req_id"], cached=False)
+
+    def _on_group_call(self, packet: dict) -> None:
+        """Request-ID-only invocation (host cache hit, Section VII-D)."""
+        plan = self.plan_cache.fetch(packet["plan_id"])
+        if plan is None:
+            raise OffloadError(
+                f"group_call for unknown plan {packet['plan_id']} "
+                f"(host cache believed the proxy had it)"
+            )
+        yield from self._launch_plan(plan, packet["req_id"], cached=True)
+
+    def _launch_plan(self, plan: dict, req_id: int, cached: bool) -> None:
+        from repro.offload.group_exec import GroupExecutor
+
+        host_rank = plan["host_rank"]
+        seqs: dict[tuple[int, int], int] = {}
+        for entry in plan["entries"]:
+            if entry["kind"] == "send":
+                pair = (host_rank, entry["dst"])
+                if pair not in seqs:
+                    self._seq_out[pair] = self._seq_out.get(pair, 0) + 1
+                    seqs[pair] = self._seq_out[pair]
+            elif entry["kind"] == "recv":
+                pair = (entry["src"], host_rank)
+                if pair not in seqs:
+                    self._seq_in[pair] = self._seq_in.get(pair, 0) + 1
+                    seqs[pair] = self._seq_in[pair]
+        executor = GroupExecutor(self, plan, req_id, seqs, cached=cached)
+        self.ctx.cluster.metrics.add("proxy.group_plans_cached" if cached else "proxy.group_plans_full")
+        yield from self._drive_executor(executor, None)
+
+    def _drive_executor(self, executor, send_value) -> None:
+        """Advance an executor until it finishes or parks (Alg 1's 'break')."""
+        gen = executor.gen
+        while True:
+            try:
+                yielded = gen.send(send_value)
+            except StopIteration:
+                return
+            if isinstance(yielded, tuple) and yielded and yielded[0] is PARK:
+                event = yielded[1]
+
+                def _rearm(ev, executor=executor):
+                    self.ctx.inbox.put(("resume", executor, ev.value))
+
+                if event.processed:
+                    # Already satisfied: requeue immediately (still goes
+                    # through the inbox so other work interleaves).
+                    self.ctx.inbox.put(("resume", executor, event.value))
+                else:
+                    event.callbacks.append(_rearm)
+                return
+            # A plain sim event: ARM-bound work, hold the core inline.
+            send_value = yield yielded
+
+    # ------------------------------------------------------------------
+    # counter writes (barrier/flow notifications)
+    # ------------------------------------------------------------------
+    def write_counter_to(self, dst_rank: int, key: tuple, epoch: int):
+        """RDMA-write a barrier counter to ``dst_rank``'s proxy (a generator)."""
+        peer = self.ctx.cluster.proxy_for_rank(dst_rank)
+        peer_engine = self.framework.proxy_engine(peer)
+        yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+        self.ctx.cluster.metrics.add("proxy.counter_writes")
+        self.ctx.cluster.fabric.control(
+            src_node=self.ctx.node_id,
+            dst_node=peer.node_id,
+            initiator="dpu",
+            inbox=peer_engine.counter_sink,
+            msg=(key, epoch),
+            size=8,
+            src_mem="dpu",
+            dst_mem="dpu",
+        )
+
+    # -- diagnostics --------------------------------------------------------
+    @property
+    def queued_rts(self) -> int:
+        return sum(len(v) for v in self._send_q.values())
+
+    @property
+    def queued_rtr(self) -> int:
+        return sum(len(v) for v in self._recv_q.values())

@@ -1,0 +1,100 @@
+"""Request objects and recorded operations for the offload APIs."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["OffloadError", "OffloadRequest", "GroupOp", "OffloadGroupRequest"]
+
+_ids = itertools.count()
+
+
+class OffloadError(RuntimeError):
+    """Semantic misuse of the offload API."""
+
+
+@dataclass
+class OffloadRequest:
+    """Handle for one Basic-primitive operation (Listing 2's ``req``)."""
+
+    kind: str  # "send" | "recv"
+    rank: int
+    peer: int
+    tag: int
+    addr: int
+    size: int
+    req_id: int = field(default_factory=lambda: next(_ids))
+    complete: bool = False
+    complete_time: Optional[float] = None
+    #: Triggered (by the proxy's completion write) when complete.
+    event: Any = None
+
+    def __hash__(self) -> int:
+        return self.req_id
+
+
+@dataclass(frozen=True)
+class GroupOp:
+    """One recorded entry of a group pattern (the paper's ``Group_op``)."""
+
+    #: "send" | "recv" | "barrier"
+    kind: str
+    addr: int = 0
+    size: int = 0
+    #: Destination rank (send) / source rank (recv); -1 for barriers.
+    peer: int = -1
+    tag: int = 0
+
+    def signature(self) -> tuple:
+        return (self.kind, self.addr, self.size, self.peer, self.tag)
+
+
+@dataclass
+class OffloadGroupRequest:
+    """Handle for a recorded group pattern (Listing 4's request object).
+
+    Lifecycle (enforced):
+    ``recording`` --Group_Offload_end--> ``ready``
+    --Group_Offload_call--> ``inflight`` --completion--> ``done``
+    (and back to ``ready``: a recorded pattern may be re-called, which
+    is what makes the Section VII-D caches pay off).
+    """
+
+    rank: int
+    req_id: int = field(default_factory=lambda: next(_ids))
+    state: str = "recording"
+    ops: list[GroupOp] = field(default_factory=list)
+    complete: bool = False
+    complete_time: Optional[float] = None
+    event: Any = None
+    #: Times Group_Offload_call has been issued on this request.
+    calls: int = 0
+
+    def record(self, op: GroupOp) -> None:
+        if self.state != "recording":
+            raise OffloadError(
+                f"cannot record into a group request in state {self.state!r} "
+                "(Group_Offload_end already called?)"
+            )
+        self.ops.append(op)
+
+    def signature(self) -> tuple:
+        """Identity of the recorded pattern for the request caches."""
+        return (self.rank, tuple(op.signature() for op in self.ops))
+
+    @property
+    def n_sends(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "send")
+
+    @property
+    def n_recvs(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "recv")
+
+    @property
+    def n_barriers(self) -> int:
+        return sum(1 for op in self.ops if op.kind == "barrier")
+
+    def __hash__(self) -> int:
+        return self.req_id

@@ -1,0 +1,96 @@
+"""Staging-based transfers through DPU DRAM (paper Section V, Fig 6).
+
+This is the mechanism state-of-the-art solutions (BluesMPI [8,9]) use:
+the proxy RDMA-READs the source host's buffer into a staging buffer in
+the BlueField's own DRAM, then RDMA-WRITEs it to the destination host.
+Compared with a cross-GVMI transfer this costs an extra hop, and both
+hops are capped by the DPU's DRAM bandwidth -- the degradation Figure 4
+measures.
+
+:class:`StagingChannel` manages a proxy's staging buffers: a pool of
+size-class buckets whose buffers are registered (from the slow ARM
+cores) on first use and reused afterwards.  That first-use registration
+is exactly the warm-up sensitivity the paper observed in BluesMPI at
+the application level (Section VIII-D): benchmarks hide it behind
+warm-up iterations; P3DFFT's two back-to-back alltoalls on fresh
+buffers do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.node import ProcessContext
+from repro.offload.requests import OffloadError
+from repro.verbs.mr import MemoryRegionHandle, reg_mr
+
+__all__ = ["StagingBuffer", "StagingChannel"]
+
+
+@dataclass
+class StagingBuffer:
+    """One registered DPU-DRAM buffer."""
+
+    addr: int
+    size_class: int
+    handle: MemoryRegionHandle
+
+    @property
+    def lkey(self) -> int:
+        return self.handle.lkey
+
+
+def size_class_of(size: int) -> int:
+    """Round a request up to its power-of-two pool bucket (min 4 KiB)."""
+    if size <= 0:
+        raise OffloadError("staging buffer size must be positive")
+    c = 4096
+    while c < size:
+        c <<= 1
+    return c
+
+
+class StagingChannel:
+    """Per-proxy staging-buffer pool."""
+
+    def __init__(self, ctx: ProcessContext):
+        if ctx.kind != "dpu":
+            raise OffloadError("staging buffers live in DPU DRAM")
+        self.ctx = ctx
+        self._free: dict[int, list[StagingBuffer]] = {}
+        #: Buffers created so far (diagnostics; also the warm-up signal).
+        self.created = 0
+        self.reused = 0
+        self._outstanding = 0
+
+    def acquire(self, size: int):
+        """Get a registered staging buffer covering ``size`` bytes.
+
+        A generator: on a pool miss it allocates and registers a new
+        buffer (ARM-speed registration -- the warm-up cost); on a hit it
+        is effectively free.
+        """
+        sc = size_class_of(size)
+        self._outstanding += 1
+        bucket = self._free.get(sc)
+        if bucket:
+            self.reused += 1
+            self.ctx.cluster.metrics.add("staging.reuse")
+            return bucket.pop()
+        self.created += 1
+        self.ctx.cluster.metrics.add("staging.create")
+        addr = self.ctx.space.alloc(sc)
+        handle = yield from reg_mr(self.ctx, addr, sc)
+        return StagingBuffer(addr=addr, size_class=sc, handle=handle)
+
+    def release(self, buf: StagingBuffer) -> None:
+        self._outstanding -= 1
+        self._free.setdefault(buf.size_class, []).append(buf)
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def pooled(self) -> int:
+        return sum(len(v) for v in self._free.values())

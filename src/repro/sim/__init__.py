@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, SimPy-flavoured event engine.  Every moving
+part of the reproduced system -- host ranks, DPU proxy processes, NIC
+engines, the fabric -- is a :class:`~repro.sim.process.Process`
+(a Python generator) running on a shared :class:`~repro.sim.core.Simulator`
+clock.  Time is measured in **seconds** throughout the code base.
+
+The kernel is deliberately deterministic: ties in the event heap are
+broken by insertion order, and all randomness flows through the named,
+seeded streams of :mod:`repro.sim.rng`, so a given configuration always
+produces the identical event trace.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import PriorityStore, Resource, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,312 @@
+"""Event heap, events and condition events.
+
+The engine follows the classic event-scheduling world view: a priority
+heap of ``(time, seq, event)`` entries, where ``seq`` is a monotonically
+increasing tie-breaker making the simulation fully deterministic.
+
+An :class:`Event` is a one-shot box: it is *pending* until somebody
+calls :meth:`Event.succeed` or :meth:`Event.fail`, at which point it is
+placed on the heap and, when popped, delivers its value to every
+registered callback (usually suspended processes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "PENDING",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries an arbitrary, caller-defined payload.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Pending:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event._value` while the event has no value yet.
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Processes wait on events by ``yield``-ing them; arbitrary code can
+    observe them through :attr:`callbacks`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        #: Callables invoked as ``cb(event)`` when the event is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        #: Failed events whose exception was consumed set this to avoid
+        #: the "unhandled failure" crash at processing time.
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule it at the current time."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed; waiting processes get the exception thrown."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() expects an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another event's outcome (used by condition plumbing)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Declare a failure as handled so the kernel does not crash."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._count = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("events from different simulators")
+        # Register on (or immediately account for) each child event.
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+        if not self._events and self._value is PENDING:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only children that have actually *fired* (Simulator.step clears
+        # ``callbacks`` before running them, so during a child's callback
+        # the child already reports processed).  A pending Timeout is
+        # "triggered" from creation but must not appear here.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds once every child event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(_Condition):
+    """Succeeds once at least one child event has succeeded."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1 or not self._events
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        #: Number of events processed so far (diagnostics/determinism tests).
+        self.processed_events: int = 0
+
+    # -- clock ---------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- event factories ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, generator) -> "Process":
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def step(self) -> None:
+        """Pop and process one event."""
+        when, _, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        self.processed_events += 1
+        if not event._ok and not event._defused:
+            # A failure that nothing consumed: crash loudly rather than
+            # silently losing the exception.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the heap is empty, a deadline passes, or an event fires.
+
+        ``until`` may be a time (run up to and including that instant) or
+        an :class:`Event` (run until it is processed; returns its value).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+            if sentinel.processed:
+                return sentinel._value if sentinel._ok else None
+            stop: list[Any] = []
+            assert sentinel.callbacks is not None
+            sentinel.callbacks.append(lambda ev: stop.append(ev))
+            while self._heap and not stop:
+                self.step()
+            if not stop:
+                raise SimulationError("simulation ran dry before `until` event fired")
+            if not sentinel._ok:
+                raise sentinel._value
+            return sentinel._value
+        deadline = float("inf") if until is None else float(until)
+        if deadline < self._now:
+            raise ValueError("cannot run into the past")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        if until is not None:
+            self._now = deadline
+        return None

@@ -1,0 +1,205 @@
+"""Shared resources: counted resources and FIFO stores.
+
+These are the synchronisation primitives the hardware models are built
+from: a NIC injection engine is a :class:`Resource` with capacity 1, a
+control-message channel is a :class:`Store`, a proxy's inbound packet
+queue is a :class:`PriorityStore`, and so on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "PriorityStore"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    Usage::
+
+        req = engine.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            engine.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._queue: list[Request] = []
+        self._users: set[Request] = set()
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        req = Request(self)
+        self._queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:
+            # Cancelled before it was granted.
+            self._queue.remove(request)
+        else:
+            raise SimulationError("releasing a request this resource never granted")
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = self._queue.pop(0)
+            self._users.add(req)
+            req.succeed(req)
+
+
+class Store:
+    """Unbounded (or bounded) FIFO of items with event-based get/put."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: list[Any] = []
+        self._getters: list[tuple[Event, Optional[Callable[[Any], bool]]]] = []
+        self._putters: list[tuple[Event, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Read-only view of the queued items (do not mutate)."""
+        return self._items
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event fires when it is accepted."""
+        ev = Event(self.sim)
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Pop the first item (optionally the first matching ``filt``)."""
+        ev = Event(self.sim)
+        self._getters.append((ev, filt))
+        self._dispatch()
+        return ev
+
+    def try_get(self, filt: Optional[Callable[[Any], bool]] = None) -> tuple[bool, Any]:
+        """Non-blocking pop. Returns ``(True, item)`` or ``(False, None)``."""
+        for i, item in enumerate(self._items):
+            if filt is None or filt(item):
+                del self._items[i]
+                self._admit_putters()
+                return True, item
+        return False, None
+
+    def _admit_putters(self) -> None:
+        while self._putters and len(self._items) < self.capacity:
+            ev, item = self._putters.pop(0)
+            self._items.append(item)
+            ev.succeed(item)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            self._admit_putters()
+            # Serve getters in FIFO order; a blocked filter-getter does not
+            # block later getters (needed for tag matching).
+            for gi, (gev, filt) in enumerate(list(self._getters)):
+                served = False
+                for ii, item in enumerate(self._items):
+                    if filt is None or filt(item):
+                        del self._items[ii]
+                        self._getters.remove((gev, filt))
+                        gev.succeed(item)
+                        served = True
+                        break
+                if served:
+                    progress = True
+                    break
+
+
+class PriorityStore(Store):
+    """A store that always yields the smallest item first.
+
+    Items must be orderable; use ``(priority, seq, payload)`` tuples.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        super().__init__(sim, capacity)
+        self._counter = itertools.count()
+
+    def put(self, item: Any) -> Event:
+        return super().put(item)
+
+    def _admit_putters(self) -> None:
+        changed = False
+        while self._putters and len(self._items) < self.capacity:
+            ev, item = self._putters.pop(0)
+            heapq.heappush(self._items, item)
+            ev.succeed(item)
+            changed = True
+        if changed:
+            pass
+
+    def try_get(self, filt: Optional[Callable[[Any], bool]] = None) -> tuple[bool, Any]:
+        if filt is None:
+            if self._items:
+                item = heapq.heappop(self._items)
+                self._admit_putters()
+                return True, item
+            return False, None
+        # Filtered pop is O(n): rebuild the heap without the match.
+        for i, item in enumerate(self._items):
+            if filt(item):
+                self._items[i] = self._items[-1]
+                self._items.pop()
+                heapq.heapify(self._items)
+                self._admit_putters()
+                return True, item
+        return False, None
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            self._admit_putters()
+            for gev, filt in list(self._getters):
+                ok, item = self.try_get(filt)
+                if ok:
+                    self._getters.remove((gev, filt))
+                    gev.succeed(item)
+                    progress = True
+                    break

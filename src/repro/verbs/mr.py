@@ -1,0 +1,153 @@
+"""Memory registration (``ibv_reg_mr`` equivalent) and key bookkeeping.
+
+Every registration produces integer keys recorded in the cluster-wide
+:class:`KeyTable`.  RDMA operations validate their keys against the
+table, so protocol bugs (stale cache entries, keys for the wrong
+buffer, using an rkey as an lkey) fault in simulation exactly as they
+would on hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.memory import pages_spanned
+from repro.hw.node import ProcessContext
+
+__all__ = [
+    "ProtectionError",
+    "KeyInfo",
+    "MemoryRegionHandle",
+    "KeyTable",
+    "reg_mr",
+    "dereg_mr",
+    "registration_cost",
+]
+
+
+class ProtectionError(RuntimeError):
+    """A key check failed -- the hardware would raise a protection fault."""
+
+
+@dataclass(frozen=True)
+class KeyInfo:
+    """What the HCA knows about one key."""
+
+    key: int
+    #: "lkey" | "rkey" | "mkey" | "mkey2"
+    kind: str
+    #: The process whose address space the key grants access to.
+    owner: ProcessContext
+    addr: int
+    size: int
+    #: GVMI-ID for mkey/mkey2 keys (None for plain IB keys).
+    gvmi_id: Optional[int] = None
+    #: For mkey2: the host mkey it was cross-registered from.
+    parent_mkey: Optional[int] = None
+
+    def covers(self, addr: int, size: int) -> bool:
+        return self.addr <= addr and addr + size <= self.addr + self.size
+
+
+@dataclass(frozen=True)
+class MemoryRegionHandle:
+    """Return value of :func:`reg_mr` (lkey + rkey over one range)."""
+
+    owner: ProcessContext
+    addr: int
+    size: int
+    lkey: int
+    rkey: int
+
+
+class KeyTable:
+    """Cluster-wide registry of live keys."""
+
+    def __init__(self) -> None:
+        self._keys: dict[int, KeyInfo] = {}
+        self._counter = itertools.count(start=0x1000)
+
+    def new_key(self, **kw) -> KeyInfo:
+        info = KeyInfo(key=next(self._counter), **kw)
+        self._keys[info.key] = info
+        return info
+
+    def lookup(self, key: int) -> KeyInfo:
+        info = self._keys.get(key)
+        if info is None:
+            raise ProtectionError(f"key {key:#x} is not registered (stale or bogus)")
+        return info
+
+    def check(
+        self,
+        key: int,
+        *,
+        owner: ProcessContext,
+        addr: int,
+        size: int,
+        kinds: tuple[str, ...],
+    ) -> KeyInfo:
+        """Validate that ``key`` grants ``kinds``-style access to the range."""
+        info = self.lookup(key)
+        if info.kind not in kinds:
+            raise ProtectionError(
+                f"key {key:#x} is a {info.kind}, expected one of {kinds}"
+            )
+        if info.owner is not owner:
+            raise ProtectionError(
+                f"key {key:#x} belongs to {info.owner!r}, not {owner!r}"
+            )
+        if not info.covers(addr, size):
+            raise ProtectionError(
+                f"key {key:#x} covers [{info.addr:#x}, +{info.size}) but the "
+                f"operation touches [{addr:#x}, +{size})"
+            )
+        return info
+
+    def revoke(self, key: int) -> None:
+        if key not in self._keys:
+            raise ProtectionError(f"cannot revoke unknown key {key:#x}")
+        del self._keys[key]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def registration_cost(ctx: ProcessContext, addr: int, size: int) -> float:
+    """Time to pin + register [addr, addr+size) from ``ctx``'s cores."""
+    p = ctx.cluster.params
+    n = pages_spanned(addr, size)
+    if ctx.kind == "host":
+        return p.host_reg_base + n * p.host_reg_per_page
+    return p.dpu_reg_base + n * p.dpu_reg_per_page
+
+
+def reg_mr(ctx: ProcessContext, addr: int, size: int):
+    """``ibv_reg_mr``: register [addr, addr+size); yields the time cost.
+
+    Use as ``handle = yield from reg_mr(ctx, addr, size)``.
+    """
+    if not ctx.space.contains(addr, size):
+        raise ProtectionError(
+            f"{ctx!r}: registering unmapped range [{addr:#x}, +{size})"
+        )
+    from repro.verbs.rdma import verbs_state
+
+    state = verbs_state(ctx.cluster)
+    yield ctx.consume(registration_cost(ctx, addr, size))
+    lk = state.keys.new_key(kind="lkey", owner=ctx, addr=addr, size=size)
+    rk = state.keys.new_key(kind="rkey", owner=ctx, addr=addr, size=size)
+    ctx.cluster.metrics.add(f"verbs.reg_mr.{ctx.kind}")
+    return MemoryRegionHandle(owner=ctx, addr=addr, size=size, lkey=lk.key, rkey=rk.key)
+
+
+def dereg_mr(ctx: ProcessContext, handle: MemoryRegionHandle) -> None:
+    """Invalidate both keys of a registration (instantaneous)."""
+    from repro.verbs.rdma import verbs_state
+
+    state = verbs_state(ctx.cluster)
+    state.keys.revoke(handle.lkey)
+    state.keys.revoke(handle.rkey)
+    ctx.cluster.metrics.add(f"verbs.dereg_mr.{ctx.kind}")

@@ -1,0 +1,71 @@
+"""Queue pairs: ordered posting contexts with outstanding-WQE tracking.
+
+The lower-level functions in :mod:`repro.verbs.rdma` are connectionless
+for convenience; :class:`QueuePair` layers the reliable-connected
+discipline on top: work requests complete in post order, and the
+number of outstanding requests is bounded by the send-queue depth
+(posting past it blocks, as a full hardware SQ would).
+
+The MPI runtime and the proxies use QPs where ordering matters (e.g. a
+rendezvous FIN must not overtake its payload on the same flow).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.hw.fabric import Transfer
+from repro.hw.node import ProcessContext
+from repro.sim import Event
+
+__all__ = ["QueuePair"]
+
+
+class QueuePair:
+    """One reliable, ordered flow from ``owner`` toward one peer."""
+
+    def __init__(self, owner: ProcessContext, peer: ProcessContext, sq_depth: int = 128):
+        if sq_depth < 1:
+            raise ValueError("send queue depth must be >= 1")
+        self.owner = owner
+        self.peer = peer
+        self.sq_depth = sq_depth
+        #: Completion events of in-flight WQEs, oldest first.
+        self._inflight: deque[Event] = deque()
+        #: Completion of the most recent WQE (ordering fence).
+        self._last: Optional[Event] = None
+
+    @property
+    def outstanding(self) -> int:
+        self._reap()
+        return len(self._inflight)
+
+    def _reap(self) -> None:
+        while self._inflight and self._inflight[0].processed:
+            self._inflight.popleft()
+
+    def post(self, op_gen):
+        """Post one RDMA op (a generator from :mod:`repro.verbs.rdma`).
+
+        Enforces ordering: the new WQE's effects begin only after the
+        previous one on this QP has completed.  Use as
+        ``t = yield from qp.post(rdma_write(...))``.
+        """
+        self._reap()
+        while len(self._inflight) >= self.sq_depth:
+            yield self._inflight[0]
+            self._reap()
+        if self._last is not None and not self._last.processed:
+            yield self._last
+        transfer: Transfer = yield from op_gen
+        self._inflight.append(transfer.completed)
+        self._last = transfer.completed
+        return transfer
+
+    def drain(self):
+        """Wait for every outstanding WQE (a generator)."""
+        self._reap()
+        while self._inflight:
+            yield self._inflight[0]
+            self._reap()

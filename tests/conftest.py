@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import Cluster, ClusterSpec
+from repro.mpi import MpiWorld
+
+
+@pytest.fixture
+def sim():
+    from repro.sim import Simulator
+
+    return Simulator()
+
+
+@pytest.fixture
+def small_cluster():
+    """2 nodes x 2 ranks, 2 proxies per DPU."""
+    return Cluster(ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2))
+
+
+@pytest.fixture
+def tiny_cluster():
+    """2 nodes x 1 rank, 1 proxy -- the minimal inter-node setup."""
+    return Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+
+
+@pytest.fixture
+def world(small_cluster):
+    return MpiWorld(small_cluster)

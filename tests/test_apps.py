@@ -1,0 +1,122 @@
+"""Integration tests for the application layer (omb, stencil, fft, hpl)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.harness import OverlapResult, dims_create
+from repro.apps.hpl import lu_validate, n_for_memory_fraction
+from repro.apps.omb import ialltoall_overlap, pingpong_latency
+from repro.apps.p3dfft import PencilGrid, fft3d_validate
+from repro.apps.stencil3d import StencilGeometry, halo_exchange_validate
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2)
+
+
+class TestHarness:
+    def test_dims_create_products(self):
+        for n in (1, 2, 6, 8, 12, 32, 100):
+            for d in (1, 2, 3):
+                dims = dims_create(n, d)
+                assert len(dims) == d
+                assert math.prod(dims) == n
+                assert dims == sorted(dims, reverse=True)
+
+    def test_dims_create_balanced(self):
+        assert dims_create(8, 3) == [2, 2, 2]
+        assert dims_create(32, 3) == [4, 4, 2]
+        assert dims_create(64, 2) == [8, 8]
+
+    def test_overlap_pct_bounds(self):
+        r = OverlapResult(pure_comm=10.0, overall=12.0, compute=10.0)
+        assert 0 <= r.overlap_pct <= 100
+        full = OverlapResult(pure_comm=10.0, overall=10.0, compute=10.0)
+        assert full.overlap_pct == 100.0
+        none = OverlapResult(pure_comm=10.0, overall=20.0, compute=10.0)
+        assert none.overlap_pct == 0.0
+        zero = OverlapResult(pure_comm=0.0, overall=1.0, compute=1.0)
+        assert zero.overlap_pct == 0.0
+
+
+class TestOmb:
+    def test_pingpong_monotone_in_size(self):
+        small = pingpong_latency("intelmpi", SPEC, 1024, iters=5)
+        big = pingpong_latency("intelmpi", SPEC, 256 * 1024, iters=5)
+        assert 0 < small < big
+
+    def test_overlap_result_consistency(self):
+        r = ialltoall_overlap("proposed", SPEC, 8192, iters=2, warmup=1)
+        assert r.pure_comm > 0
+        assert r.overall >= r.compute
+        assert 0 <= r.overlap_pct <= 100
+
+
+class TestStencil:
+    def test_geometry_neighbours_symmetric(self):
+        geo = StencilGeometry.for_world(64, 8)
+        for rank in range(8):
+            for face, peer, nbytes in geo.neighbours(rank):
+                back = [f for f, p, b in geo.neighbours(peer) if p == rank]
+                assert (face ^ 1) in back
+
+    def test_geometry_boundary_ranks_have_fewer_faces(self):
+        geo = StencilGeometry.for_world(64, 8)  # 2x2x2 grid
+        for rank in range(8):
+            assert len(geo.neighbours(rank)) == 3  # corner ranks
+
+    def test_interior_rank_has_six(self):
+        geo = StencilGeometry(n=128, px=3, py=3, pz=3)
+        center = geo.rank_of(1, 1, 1)
+        assert len(geo.neighbours(center)) == 6
+
+    def test_compute_seconds_scales_with_volume(self):
+        geo1 = StencilGeometry.for_world(64, 8)
+        geo2 = StencilGeometry.for_world(128, 8)
+        assert geo2.compute_seconds(1e9) == pytest.approx(8 * geo1.compute_seconds(1e9))
+
+    @pytest.mark.parametrize("flavor", ["intelmpi", "proposed"])
+    def test_halo_exchange_bit_exact(self, flavor):
+        assert halo_exchange_validate(flavor, SPEC, n=8)
+
+
+class TestP3dfft:
+    def test_grid_shapes(self):
+        g = PencilGrid.for_world(16, 16, 8, 4)
+        g.check()
+        assert g.rows * g.cols == 4
+
+    def test_block_bytes_positive(self):
+        g = PencilGrid.for_world(16, 16, 16, 4)
+        assert g.row_block_bytes > 0 and g.col_block_bytes > 0
+
+    def test_indivisible_grid_rejected(self):
+        g = PencilGrid(x=10, y=10, z=10, rows=4, cols=1)
+        with pytest.raises(ValueError):
+            g.check()
+
+    @pytest.mark.parametrize("flavor", ["intelmpi", "bluesmpi", "proposed"])
+    def test_distributed_fft_matches_numpy(self, flavor):
+        assert fft3d_validate(flavor, SPEC, 8, 8, 8)
+
+    def test_fft_validates_on_rectangular_grid(self):
+        assert fft3d_validate("proposed", SPEC, 8, 16, 4)
+
+
+class TestHpl:
+    def test_n_for_memory_fraction_monotone(self):
+        ns = [n_for_memory_fraction(f, 256e9, 16) for f in (0.05, 0.25, 0.75)]
+        assert ns == sorted(ns)
+        assert all(n % 64 == 0 for n in ns)
+
+    @pytest.mark.parametrize("flavor", ["intelmpi", "bluesmpi", "proposed"])
+    def test_lu_factors_reproduce_matrix(self, flavor):
+        assert lu_validate(flavor, SPEC, n=32, nb=8)
+
+    def test_lu_bigger_blocks(self):
+        assert lu_validate("proposed", SPEC, n=48, nb=16)
+
+    def test_lu_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            lu_validate("intelmpi", SPEC, n=30, nb=8)

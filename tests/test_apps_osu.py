@@ -1,0 +1,56 @@
+"""Tests for the extended OSU-style suite."""
+
+import pytest
+
+from repro.apps.osu_suite import osu_bw, osu_iallgather, osu_ibcast, osu_latency
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2)
+
+
+class TestLatency:
+    def test_monotone_in_size(self):
+        lat = osu_latency("intelmpi", SPEC, [64, 4096, 262144], iters=4)
+        assert lat[64] < lat[4096] < lat[262144]
+
+    def test_proposed_latency_close_to_host_at_large_sizes(self):
+        """Offload adds fixed control costs; at bandwidth-bound sizes the
+        direct GVMI data path keeps it within ~1.5x of host latency."""
+        size = 262144
+        host = osu_latency("intelmpi", SPEC, [size], iters=4)[size]
+        prop = osu_latency("proposed", SPEC, [size], iters=4)[size]
+        assert prop < 1.5 * host
+
+
+class TestBandwidth:
+    def test_approaches_wire_rate_for_large_messages(self):
+        bw = osu_bw("intelmpi", SPEC, [1 << 20], window=16, iters=2)
+        assert bw[1 << 20] > 0.6 * SPEC.params.wire_bandwidth
+
+    def test_small_messages_are_gap_bound(self):
+        bw = osu_bw("intelmpi", SPEC, [64], window=16, iters=2)
+        assert bw[64] < 0.05 * SPEC.params.wire_bandwidth
+
+    def test_bandwidth_increases_with_size(self):
+        bw = osu_bw("intelmpi", SPEC, [1024, 65536, 1 << 20], window=8, iters=2)
+        assert bw[1024] < bw[65536] < bw[1 << 20]
+
+
+class TestIbcastOverlap:
+    def test_offloads_overlap_host_does_not(self):
+        size = 128 * 1024
+        host = osu_ibcast("intelmpi", SPEC, size, iters=3)
+        prop = osu_ibcast("proposed", SPEC, size, iters=3)
+        assert prop.overlap_pct > host.overlap_pct + 30
+        assert prop.overlap_pct > 70
+
+    def test_result_sanity(self):
+        r = osu_ibcast("bluesmpi", SPEC, 64 * 1024, iters=2)
+        assert r.pure_comm > 0 and r.overall >= r.compute > 0
+
+
+class TestIallgatherOverlap:
+    def test_runs_and_reports(self):
+        r = osu_iallgather(SPEC, 16 * 1024, iters=2)
+        assert r.pure_comm > 0
+        assert 0 <= r.overlap_pct <= 100

@@ -1,0 +1,145 @@
+"""Integration tests for the three CommBackend implementations."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import pattern
+from repro.baselines import make_stack
+from repro.hw import ClusterSpec
+
+SPEC = ClusterSpec(nodes=2, ppn=2, proxies_per_dpu=2)
+
+
+def _p2p_roundtrip(flavor, size, src=0, dst=3):
+    stack = make_stack(flavor, SPEC)
+    data = pattern(size, seed=size)
+
+    def program(be):
+        comm = be.stack.comm_world
+        if be.rank == src:
+            addr = be.ctx.space.alloc_like(data)
+            req = yield from be.isend(comm, dst, addr, size, tag=6)
+            yield from be.wait(req)
+        elif be.rank == dst:
+            addr = be.ctx.space.alloc(size)
+            req = yield from be.irecv(comm, src, addr, size, tag=6)
+            yield from be.wait(req)
+            assert (be.ctx.space.read(addr, size) == data).all()
+        return True
+
+    assert all(stack.run(program))
+    return stack
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("flavor", ["intelmpi", "bluesmpi", "proposed"])
+    def test_p2p_round_trip(self, flavor):
+        _p2p_roundtrip(flavor, 32 * 1024)
+
+    def test_proposed_offloads_inter_node_p2p(self):
+        stack = _p2p_roundtrip("proposed", 32 * 1024, src=0, dst=3)
+        assert stack.cluster.metrics.get("proxy.basic_pairs") == 1
+
+    def test_proposed_keeps_intra_node_on_shm(self):
+        stack = _p2p_roundtrip("proposed", 32 * 1024, src=0, dst=1)
+        m = stack.cluster.metrics
+        assert m.get("proxy.basic_pairs") == 0
+        assert m.get("mpi.shm_sends") == 1
+
+    def test_bluesmpi_p2p_stays_on_host(self):
+        """Paper: BluesMPI does not offload point-to-point."""
+        stack = _p2p_roundtrip("bluesmpi", 64 * 1024, src=0, dst=3)
+        m = stack.cluster.metrics
+        assert m.get("proxy.basic_pairs") == 0
+        assert m.get("mpi.rndv_sends") == 1
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError):
+            make_stack("mvapich", SPEC)
+
+
+class TestWaitDispatch:
+    def test_wait_on_foreign_object_rejected(self):
+        stack = make_stack("intelmpi", SPEC)
+
+        def program(be):
+            if be.rank == 0:
+                with pytest.raises(TypeError):
+                    yield from be.wait(object())
+            return True
+            yield  # pragma: no cover
+
+        stack.run(program, )
+
+    def test_time_in_comm_accumulates(self):
+        stack = make_stack("proposed", SPEC)
+
+        def program(be):
+            comm = be.stack.comm_world
+            size = 16 * 1024
+            if be.rank == 0:
+                addr = be.ctx.space.alloc(size, fill=1)
+                req = yield from be.isend(comm, 3, addr, size, tag=2)
+                yield from be.wait(req)
+                assert be.time_in_comm > 0
+            elif be.rank == 3:
+                addr = be.ctx.space.alloc(size)
+                req = yield from be.irecv(comm, 0, addr, size, tag=2)
+                yield from be.wait(req)
+            return True
+
+        assert all(stack.run(program))
+
+
+class TestCollectivesAcrossBackends:
+    @pytest.mark.parametrize("flavor", ["intelmpi", "bluesmpi", "proposed"])
+    def test_ialltoall_data(self, flavor):
+        stack = make_stack(flavor, SPEC)
+        P = SPEC.world_size
+        blk = 4096
+
+        def program(be):
+            comm = be.stack.comm_world
+            sbuf = be.ctx.space.alloc(P * blk, fill=(be.rank % 200) + 1)
+            rbuf = be.ctx.space.alloc(P * blk)
+            req = yield from be.ialltoall(comm, sbuf, rbuf, blk)
+            yield from be.wait(req)
+            for j in range(P):
+                assert (be.ctx.space.read(rbuf + j * blk, blk) == (j % 200) + 1).all()
+            return True
+
+        assert all(stack.run(program))
+
+    @pytest.mark.parametrize("flavor", ["intelmpi", "bluesmpi", "proposed"])
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_ibcast_data(self, flavor, root):
+        stack = make_stack(flavor, SPEC)
+        size = 24 * 1024
+        data = pattern(size, seed=root)
+
+        def program(be):
+            comm = be.stack.comm_world
+            if be.rank == root:
+                addr = be.ctx.space.alloc_like(data)
+            else:
+                addr = be.ctx.space.alloc(size)
+            req = yield from be.ibcast(comm, root, addr, size)
+            yield from be.wait(req)
+            assert (be.ctx.space.read(addr, size) == data).all()
+            return True
+
+        assert all(stack.run(program))
+
+    def test_barrier_synchronises(self):
+        stack = make_stack("proposed", SPEC)
+        arrive, leave = {}, {}
+
+        def program(be):
+            yield be.ctx.consume(be.rank * 5e-6)
+            arrive[be.rank] = be.sim.now
+            yield from be.barrier(be.stack.comm_world)
+            leave[be.rank] = be.sim.now
+            return True
+
+        stack.run(program)
+        assert min(leave.values()) >= max(arrive.values())

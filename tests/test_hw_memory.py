@@ -1,0 +1,116 @@
+"""Unit tests for address spaces and page math."""
+
+import numpy as np
+import pytest
+
+from repro.hw.memory import PAGE_SIZE, AddressSpace, pages_spanned
+
+
+class TestPages:
+    def test_zero_size_spans_nothing(self):
+        assert pages_spanned(0x1000, 0) == 0
+
+    def test_single_byte_spans_one_page(self):
+        assert pages_spanned(0x1000, 1) == 1
+
+    def test_exact_page(self):
+        assert pages_spanned(0, PAGE_SIZE) == 1
+
+    def test_straddling_boundary(self):
+        assert pages_spanned(PAGE_SIZE - 1, 2) == 2
+
+    def test_large_aligned_range(self):
+        assert pages_spanned(0, 10 * PAGE_SIZE) == 10
+
+
+class TestAddressSpace:
+    def test_alloc_returns_distinct_addresses(self):
+        sp = AddressSpace()
+        a = sp.alloc(100)
+        b = sp.alloc(100)
+        assert a != b and b > a
+
+    def test_alloc_never_reuses_addresses_after_free(self):
+        sp = AddressSpace()
+        a = sp.alloc(64)
+        sp.free(a)
+        b = sp.alloc(64)
+        assert b != a
+
+    def test_zero_or_negative_alloc_rejected(self):
+        sp = AddressSpace()
+        with pytest.raises(ValueError):
+            sp.alloc(0)
+        with pytest.raises(ValueError):
+            sp.alloc(-4)
+
+    def test_write_read_roundtrip(self):
+        sp = AddressSpace()
+        data = np.arange(256, dtype=np.uint8)
+        addr = sp.alloc(256)
+        sp.write(addr, data)
+        assert (sp.read(addr, 256) == data).all()
+
+    def test_alloc_like_copies_bytes(self):
+        sp = AddressSpace()
+        data = np.arange(32, dtype=np.float64)
+        addr = sp.alloc_like(data)
+        assert np.allclose(sp.read_as(addr, np.float64, 32), data)
+
+    def test_interior_pointer_view(self):
+        sp = AddressSpace()
+        addr = sp.alloc(100, fill=7)
+        view = sp.view(addr + 10, 20)
+        assert (view == 7).all()
+        view[:] = 9
+        assert (sp.read(addr + 10, 20) == 9).all()
+        assert (sp.read(addr, 10) == 7).all()
+
+    def test_view_overrun_rejected(self):
+        sp = AddressSpace()
+        addr = sp.alloc(100)
+        with pytest.raises(ValueError):
+            sp.view(addr + 90, 20)
+
+    def test_unknown_address_rejected(self):
+        sp = AddressSpace()
+        with pytest.raises(KeyError):
+            sp.view(0xDEAD, 4)
+
+    def test_free_unknown_rejected(self):
+        sp = AddressSpace()
+        with pytest.raises(KeyError):
+            sp.free(0x1234)
+
+    def test_contains(self):
+        sp = AddressSpace()
+        addr = sp.alloc(64)
+        assert sp.contains(addr, 64)
+        assert sp.contains(addr + 32, 32)
+        assert not sp.contains(addr + 32, 64)
+        assert not sp.contains(addr - 1, 1)
+
+    def test_allocated_bytes_accounting(self):
+        sp = AddressSpace()
+        a = sp.alloc(100)
+        sp.alloc(50)
+        assert sp.allocated_bytes == 150
+        sp.free(a)
+        assert sp.allocated_bytes == 50
+
+    def test_read_is_a_copy(self):
+        sp = AddressSpace()
+        addr = sp.alloc(16, fill=1)
+        snap = sp.read(addr, 16)
+        sp.write(addr, np.full(16, 2, np.uint8))
+        assert (snap == 1).all()
+
+    def test_size_of(self):
+        sp = AddressSpace()
+        addr = sp.alloc(77)
+        assert sp.size_of(addr) == 77
+
+    def test_fill_value(self):
+        sp = AddressSpace()
+        addr = sp.alloc(10, fill=42)
+        assert (sp.read(addr, 10) == 42).all()

@@ -1,0 +1,50 @@
+"""Unit tests for the metrics bag."""
+
+from repro.hw import Metrics
+
+
+def test_add_and_get():
+    m = Metrics()
+    m.add("a.b")
+    m.add("a.b", 2)
+    assert m.get("a.b") == 3
+    assert m["a.b"] == 3
+
+
+def test_missing_key_is_zero():
+    assert Metrics().get("nope") == 0.0
+
+
+def test_contains():
+    m = Metrics()
+    m.add("x")
+    assert "x" in m and "y" not in m
+
+
+def test_with_prefix_strips_prefix():
+    m = Metrics()
+    m.add("nic.tx", 5)
+    m.add("nic.rx", 7)
+    m.add("other.z", 1)
+    assert m.with_prefix("nic") == {"tx": 5, "rx": 7}
+
+
+def test_iteration_is_sorted():
+    m = Metrics()
+    m.add("b")
+    m.add("a")
+    assert [k for k, _ in m] == ["a", "b"]
+
+
+def test_snapshot_and_reset():
+    m = Metrics()
+    m.add("k", 4)
+    snap = m.snapshot()
+    m.reset()
+    assert snap == {"k": 4} and m.get("k") == 0
+
+
+def test_report_contains_keys():
+    m = Metrics()
+    m.add("some.counter", 2)
+    assert "some.counter" in m.report()

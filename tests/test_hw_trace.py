@@ -1,0 +1,98 @@
+"""Tests for the execution tracer and its ASCII timeline."""
+
+import numpy as np
+import pytest
+
+from tests.helpers import run_procs
+from repro.hw import Cluster, ClusterSpec
+from repro.hw.trace import Tracer
+from repro.offload import OffloadFramework
+
+
+def test_spans_record_consume():
+    cl = Cluster(ClusterSpec(nodes=1, ppn=1))
+    tracer = Tracer.attach(cl)
+    ctx = cl.rank_ctx(0)
+
+    def prog(sim):
+        yield ctx.consume(5e-6)
+        yield sim.timeout(1e-6)  # idle: no span
+        yield ctx.consume(2e-6)
+
+    proc = cl.sim.process(prog(cl.sim))
+    cl.sim.run(until=proc)
+    assert tracer.busy_time("host0") == 7e-6
+    assert len(tracer.spans) == 2
+
+
+def test_arrows_record_transfers():
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1))
+    tracer = Tracer.attach(cl)
+
+    def prog(sim):
+        t = cl.fabric.transfer(src_node=0, dst_node=1, size=1024, initiator="host")
+        yield t.delivered
+
+    proc = cl.sim.process(prog(cl.sim))
+    cl.sim.run(until=proc)
+    assert len(tracer.arrows) == 1
+    arrow = tracer.arrows[0]
+    assert (arrow.src, arrow.dst, arrow.size) == ("node0", "node1", 1024)
+    assert arrow.delivered > arrow.posted
+
+
+def test_t_min_window_filters_warmup():
+    cl = Cluster(ClusterSpec(nodes=1, ppn=1))
+    tracer = Tracer.attach(cl)
+    ctx = cl.rank_ctx(0)
+
+    def prog(sim):
+        yield ctx.consume(5e-6)   # warm-up
+        tracer.reset(t_min=sim.now)
+        yield ctx.consume(3e-6)   # measured
+
+    proc = cl.sim.process(prog(cl.sim))
+    cl.sim.run(until=proc)
+    assert tracer.busy_time("host0") == pytest.approx(3e-6)
+    assert len(tracer.spans) == 1
+
+
+def test_render_ascii_shows_lanes_and_arrivals():
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+    tracer = Tracer.attach(cl)
+    fw = OffloadFramework(cl)
+    data = np.arange(4096, dtype=np.uint8)
+
+    def sender(sim):
+        ep = fw.endpoint(0)
+        addr = ep.ctx.space.alloc_like(data)
+        req = yield from ep.send_offload(addr, 4096, dst=1, tag=1)
+        yield from ep.wait(req)
+
+    def receiver(sim):
+        ep = fw.endpoint(1)
+        addr = ep.ctx.space.alloc(4096)
+        req = yield from ep.recv_offload(addr, 4096, src=0, tag=1)
+        yield from ep.wait(req)
+
+    run_procs(cl, [sender(cl.sim), receiver(cl.sim)])
+    text = tracer.render_ascii(width=60)
+    assert "host0" in text and "dpu0" in text
+    assert "#" in text  # busy time visible
+    assert "v" in text  # message arrivals visible
+
+
+def test_render_empty_trace():
+    assert Tracer().render_ascii() == "(empty trace)"
+
+
+def test_tracing_off_by_default_costs_nothing():
+    cl = Cluster(ClusterSpec(nodes=1, ppn=1))
+    assert Tracer.of(cl) is None
+    ctx = cl.rank_ctx(0)
+
+    def prog(sim):
+        yield ctx.consume(1e-6)
+
+    proc = cl.sim.process(prog(cl.sim))
+    cl.sim.run(until=proc)  # must simply not crash

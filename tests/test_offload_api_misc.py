@@ -1,0 +1,152 @@
+"""Remaining offload API surface: errors, lifecycle, bookkeeping."""
+
+import pytest
+
+from tests.helpers import pattern, run_procs
+from repro.hw import Cluster, ClusterSpec
+from repro.offload import OffloadError, OffloadFramework
+from repro.offload.requests import GroupOp, OffloadGroupRequest
+
+
+class TestEndpointErrors:
+    def test_completion_for_unknown_request(self, tiny_cluster):
+        fw = OffloadFramework(tiny_cluster)
+        ep = fw.endpoint(0)
+        with pytest.raises(OffloadError, match="unknown request"):
+            ep._complete_by_id(987654)
+
+    def test_unknown_endpoint_inbox_item(self, tiny_cluster):
+        fw = OffloadFramework(tiny_cluster)
+        ep = fw.endpoint(0)
+        ep.inbox.put(("mystery", {}))
+
+        def prog(sim):
+            yield from ep._drain_inbox()
+
+        proc = tiny_cluster.sim.process(prog(tiny_cluster.sim))
+        with pytest.raises(OffloadError, match="unknown inbox item"):
+            tiny_cluster.sim.run(until=proc)
+
+    def test_quiescence_detects_pending_requests(self, tiny_cluster):
+        fw = OffloadFramework(tiny_cluster)
+
+        def prog(sim):
+            ep = fw.endpoint(0)
+            addr = ep.ctx.space.alloc(64)
+            yield from ep.send_offload(addr, 64, dst=1, tag=1)
+            # never waited, never matched
+
+        proc = tiny_cluster.sim.process(prog(tiny_cluster.sim))
+        tiny_cluster.sim.run(until=proc)
+        tiny_cluster.sim.run(until=tiny_cluster.sim.now + 1e-3)
+        with pytest.raises(OffloadError):
+            fw.assert_quiescent()
+
+
+class TestGroupRequestObject:
+    def test_record_after_end_raises(self):
+        g = OffloadGroupRequest(rank=0)
+        g.state = "ready"
+        with pytest.raises(OffloadError):
+            g.record(GroupOp("send"))
+
+    def test_signature_covers_all_fields(self):
+        a = OffloadGroupRequest(rank=0)
+        b = OffloadGroupRequest(rank=0)
+        a.record(GroupOp("send", addr=1, size=2, peer=3, tag=4))
+        b.record(GroupOp("send", addr=1, size=2, peer=3, tag=5))  # tag differs
+        assert a.signature() != b.signature()
+
+    def test_signature_rank_scoped(self):
+        a = OffloadGroupRequest(rank=0)
+        b = OffloadGroupRequest(rank=1)
+        assert a.signature() != b.signature()
+
+    def test_calls_counter(self, tiny_cluster):
+        fw = OffloadFramework(tiny_cluster)
+        ep = fw.endpoint(0)
+        g = ep.group_start()
+        ep.group_end(g)
+
+        def prog(sim):
+            for _ in range(3):
+                yield from ep.group_call(g)
+                yield from ep.group_wait(g)
+            return g.calls
+
+        proc = tiny_cluster.sim.process(prog(tiny_cluster.sim))
+        tiny_cluster.sim.run(until=proc)
+        assert proc.value == 3
+
+
+class TestReadyGate:
+    def test_ops_wait_for_init_exchange(self, tiny_cluster):
+        """The GVMI-ID exchange happens inside Init_Offload; the first
+        operation cannot start before it finishes."""
+        fw = OffloadFramework(tiny_cluster)
+        t_ready = {}
+
+        def watch(sim):
+            yield fw.ready
+            t_ready["t"] = sim.now
+
+        def sender(sim):
+            ep = fw.endpoint(0)
+            addr = ep.ctx.space.alloc(64)
+            req = yield from ep.send_offload(addr, 64, dst=1, tag=1)
+            t_ready["first_op_after"] = sim.now
+            _ = req
+
+        def receiver(sim):
+            ep = fw.endpoint(1)
+            addr = ep.ctx.space.alloc(64)
+            req = yield from ep.recv_offload(addr, 64, src=0, tag=1)
+            yield from ep.wait(req)
+
+        run_procs(tiny_cluster, [watch(tiny_cluster.sim),
+                                 sender(tiny_cluster.sim),
+                                 receiver(tiny_cluster.sim)])
+        assert t_ready["first_op_after"] >= t_ready["t"] > 0
+
+
+class TestWaitall:
+    def test_waitall_over_mixed_basic_requests(self, small_cluster):
+        fw = OffloadFramework(small_cluster)
+        data = pattern(1024)
+
+        def sender(sim):
+            ep = fw.endpoint(0)
+            a = ep.ctx.space.alloc_like(data)
+            reqs = []
+            for tag in (1, 2, 3):
+                reqs.append((yield from ep.send_offload(a, 1024, dst=2, tag=tag)))
+            yield from ep.waitall(reqs)
+            return all(r.complete for r in reqs)
+
+        def receiver(sim):
+            ep = fw.endpoint(2)
+            reqs = []
+            bufs = []
+            for tag in (3, 1, 2):  # scrambled post order
+                b = ep.ctx.space.alloc(1024)
+                bufs.append(b)
+                reqs.append((yield from ep.recv_offload(b, 1024, src=0, tag=tag)))
+            yield from ep.waitall(reqs)
+            return all((ep.ctx.space.read(b, 1024) == data).all() for b in bufs)
+
+        results = run_procs(small_cluster,
+                            [sender(small_cluster.sim), receiver(small_cluster.sim)])
+        assert results == [True, True]
+        fw.assert_quiescent()
+
+
+class TestProxyMapping:
+    def test_ranks_spread_over_proxies(self):
+        """rank % proxies_per_dpu: different local ranks -> different
+        workers, so one slow pattern cannot serialise a whole node."""
+        cl = Cluster(ClusterSpec(nodes=1, ppn=4, proxies_per_dpu=2))
+        fw = OffloadFramework(cl)
+        engines = {r: fw.proxy_engine_for_rank(r) for r in range(4)}
+        assert engines[0] is engines[2]
+        assert engines[1] is engines[3]
+        assert engines[0] is not engines[1]

@@ -1,0 +1,106 @@
+"""Unit + property tests for the AVL tree backing the GVMI caches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.offload import AvlTree
+
+
+class TestBasics:
+    def test_empty(self):
+        t = AvlTree()
+        assert len(t) == 0
+        assert t.find((1, 2)) is None
+        assert (1, 2) not in t
+
+    def test_insert_find(self):
+        t = AvlTree()
+        t.insert((0x1000, 64), "a")
+        assert t.find((0x1000, 64)) == "a"
+        assert (0x1000, 64) in t
+
+    def test_overwrite(self):
+        t = AvlTree()
+        t.insert((1, 1), "old")
+        t.insert((1, 1), "new")
+        assert len(t) == 1 and t.find((1, 1)) == "new"
+
+    def test_same_addr_different_size_is_distinct(self):
+        t = AvlTree()
+        t.insert((0x1000, 64), "small")
+        t.insert((0x1000, 128), "big")
+        assert len(t) == 2
+        assert t.find((0x1000, 64)) == "small"
+        assert t.find((0x1000, 128)) == "big"
+
+    def test_remove(self):
+        t = AvlTree()
+        t.insert((1, 1), "x")
+        assert t.remove((1, 1))
+        assert not t.remove((1, 1))
+        assert t.find((1, 1)) is None
+
+    def test_items_sorted(self):
+        t = AvlTree()
+        for k in [(5, 0), (1, 0), (3, 0), (2, 0), (4, 0)]:
+            t.insert(k, None)
+        assert [k for k, _ in t.items()] == [(1, 0), (2, 0), (3, 0), (4, 0), (5, 0)]
+
+    def test_sequential_insert_stays_balanced(self):
+        t = AvlTree()
+        n = 1024
+        for i in range(n):
+            t.insert((i, 0), i)
+        t.check_invariants()
+        # AVL height bound: ~1.44 log2(n)
+        assert t.height <= 1.45 * (n.bit_length()) + 2
+
+    def test_depth_of_found_and_missing(self):
+        t = AvlTree()
+        for i in range(15):
+            t.insert((i, 0), i)
+        assert 1 <= t.depth_of((7, 0)) <= t.height
+        assert t.depth_of((99, 0)) <= t.height
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove"]),
+            st.integers(0, 40),
+            st.integers(0, 3),
+        ),
+        max_size=120,
+    )
+)
+def test_avl_matches_dict_model(ops):
+    """Random insert/remove interleavings behave exactly like a dict and
+    never violate BST order or AVL balance."""
+    tree = AvlTree()
+    model = {}
+    for op, addr, size in ops:
+        key = (addr, size)
+        if op == "insert":
+            tree.insert(key, addr * 10 + size)
+            model[key] = addr * 10 + size
+        else:
+            assert tree.remove(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    assert dict(tree.items()) == model
+    assert list(tree.keys()) == sorted(model)
+
+
+@settings(max_examples=50, deadline=None)
+@given(keys=st.sets(st.integers(0, 10_000), min_size=1, max_size=300))
+def test_avl_height_is_logarithmic(keys):
+    tree = AvlTree()
+    for k in keys:
+        tree.insert((k, 0), k)
+    tree.check_invariants()
+    import math
+
+    assert tree.height <= 1.45 * math.log2(len(keys) + 2) + 2

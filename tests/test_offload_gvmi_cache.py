@@ -1,0 +1,138 @@
+"""Unit tests for the array-of-BST GVMI registration caches."""
+
+import pytest
+
+from tests.helpers import run_proc
+from repro.offload import DpuGvmiCache, HostGvmiCache
+from repro.verbs import gvmi_id_of, host_gvmi_register
+
+
+def _host_cache_get(cluster, cache, proxy, addr, size):
+    def prog(sim):
+        return (yield from cache.get(proxy, gvmi_id_of(proxy), addr, size))
+
+    return run_proc(cluster, prog(cluster.sim))
+
+
+class TestHostCache:
+    def test_must_live_on_host(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            HostGvmiCache(tiny_cluster.proxy_ctx(0, 0))
+
+    def test_miss_then_hit(self, tiny_cluster):
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        cache = HostGvmiCache(host)
+        addr = host.space.alloc(4096)
+        a = _host_cache_get(tiny_cluster, cache, proxy, addr, 4096)
+        b = _host_cache_get(tiny_cluster, cache, proxy, addr, 4096)
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert tiny_cluster.metrics.get("gvmi.host_registrations") == 1
+
+    def test_keyed_by_proxy_rank(self, small_cluster):
+        """Same buffer toward two different proxies = two registrations
+        (the GVMI-ID differs), exactly the paper's cache key argument."""
+        host = small_cluster.rank_ctx(0)
+        pa = small_cluster.proxy_ctx(0, 0)
+        pb = small_cluster.proxy_ctx(0, 1)
+        cache = HostGvmiCache(host)
+        addr = host.space.alloc(1024)
+        _host_cache_get(small_cluster, cache, pa, addr, 1024)
+        _host_cache_get(small_cluster, cache, pb, addr, 1024)
+        assert cache.misses == 2
+        assert cache.entries == 2
+
+    def test_covering_range_is_a_hit(self, tiny_cluster):
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        cache = HostGvmiCache(host)
+        addr = host.space.alloc(1 << 16)
+        big = _host_cache_get(tiny_cluster, cache, proxy, addr, 1 << 16)
+        small = _host_cache_get(tiny_cluster, cache, proxy, addr + 128, 1024)
+        assert small is big and cache.hits == 1
+
+    def test_invalidate(self, tiny_cluster):
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        cache = HostGvmiCache(host)
+        addr = host.space.alloc(64)
+        _host_cache_get(tiny_cluster, cache, proxy, addr, 64)
+        assert cache.invalidate(proxy.global_id, addr, 64)
+        _host_cache_get(tiny_cluster, cache, proxy, addr, 64)
+        assert cache.misses == 2
+
+    def test_check_invariants_clean(self, tiny_cluster):
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        cache = HostGvmiCache(host)
+        for _ in range(20):
+            addr = host.space.alloc(256)
+            _host_cache_get(tiny_cluster, cache, proxy, addr, 256)
+        cache.check_invariants()
+
+
+class TestDpuCache:
+    def _mkey(self, cluster, host, proxy, addr, size):
+        def prog(sim):
+            return (yield from host_gvmi_register(host, addr, size, gvmi_id_of(proxy)))
+
+        return run_proc(cluster, prog(cluster.sim))
+
+    def test_must_live_on_dpu(self, tiny_cluster):
+        with pytest.raises(ValueError):
+            DpuGvmiCache(tiny_cluster.rank_ctx(0))
+
+    def test_miss_then_hit(self, tiny_cluster):
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        addr = host.space.alloc(4096)
+        mkey = self._mkey(tiny_cluster, host, proxy, addr, 4096)
+        cache = DpuGvmiCache(proxy)
+
+        def prog(sim):
+            a = yield from cache.get(0, gvmi_id_of(proxy), mkey.key, addr, 4096)
+            b = yield from cache.get(0, gvmi_id_of(proxy), mkey.key, addr, 4096)
+            return a, b
+
+        a, b = run_proc(tiny_cluster, prog(tiny_cluster.sim))
+        assert a is b
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert tiny_cluster.metrics.get("gvmi.cross_registrations") == 1
+
+    def test_stale_mkey_detected_and_reregistered(self, tiny_cluster):
+        """The paper argues an (addr, size, rank) key can never alias a
+        different mkey; we verify rather than assume, so a *forced*
+        mismatch (fresh registration of the same buffer) is detected."""
+        host = tiny_cluster.rank_ctx(0)
+        proxy = tiny_cluster.proxy_ctx(0, 0)
+        addr = host.space.alloc(2048)
+        mkey1 = self._mkey(tiny_cluster, host, proxy, addr, 2048)
+        mkey2 = self._mkey(tiny_cluster, host, proxy, addr, 2048)
+        cache = DpuGvmiCache(proxy)
+
+        def prog(sim):
+            yield from cache.get(0, gvmi_id_of(proxy), mkey1.key, addr, 2048)
+            yield from cache.get(0, gvmi_id_of(proxy), mkey2.key, addr, 2048)
+
+        run_proc(tiny_cluster, prog(tiny_cluster.sim))
+        assert cache.stale_detected == 1
+        assert cache.misses == 2
+
+    def test_keyed_by_host_rank(self, small_cluster):
+        proxy = small_cluster.proxy_ctx(0, 0)
+        cache = DpuGvmiCache(proxy)
+        entries = {}
+        for rank in (0, 1):
+            host = small_cluster.rank_ctx(rank)
+            addr = host.space.alloc(512)
+            mkey = self._mkey(small_cluster, host, proxy, addr, 512)
+            entries[rank] = (addr, mkey)
+
+        def prog(sim):
+            for rank, (addr, mkey) in entries.items():
+                yield from cache.get(rank, gvmi_id_of(proxy), mkey.key, addr, 512)
+
+        run_proc(small_cluster, prog(small_cluster.sim))
+        assert cache.misses == 2 and cache.entries == 2
+        cache.check_invariants()

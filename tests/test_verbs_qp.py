@@ -1,0 +1,76 @@
+"""Unit tests for queue-pair ordering and flow control."""
+
+import pytest
+
+from tests.helpers import pattern, run_proc
+from repro.verbs import QueuePair, rdma_write, reg_mr
+
+
+def _setup(cluster, size=1024):
+    src = cluster.rank_ctx(0)
+    dst = cluster.rank_ctx(1)
+    sa = src.space.alloc_like(pattern(size))
+    da = dst.space.alloc(size)
+    box = {}
+
+    def prog(sim):
+        box["s"] = yield from reg_mr(src, sa, size)
+        box["d"] = yield from reg_mr(dst, da, size)
+
+    run_proc(cluster, prog(cluster.sim))
+    return src, dst, sa, da, box["s"], box["d"]
+
+
+def test_posts_complete_in_order(tiny_cluster):
+    src, dst, sa, da, hs, hd = _setup(tiny_cluster)
+    qp = QueuePair(src, dst)
+    completions = []
+
+    def prog(sim):
+        transfers = []
+        for i in range(4):
+            t = yield from qp.post(rdma_write(
+                src, lkey=hs.lkey, src_addr=sa, rkey=hd.rkey, dst_addr=da, size=256))
+            transfers.append(t)
+
+        def watch(idx, t):
+            yield t.completed
+            completions.append(idx)
+
+        for i, t in enumerate(transfers):
+            sim.process(watch(i, t))
+        yield from qp.drain()
+
+    run_proc(tiny_cluster, prog(tiny_cluster.sim))
+    assert completions == [0, 1, 2, 3]
+
+
+def test_sq_depth_backpressures(tiny_cluster):
+    src, dst, sa, da, hs, hd = _setup(tiny_cluster)
+    qp = QueuePair(src, dst, sq_depth=2)
+
+    def prog(sim):
+        for _ in range(5):
+            yield from qp.post(rdma_write(
+                src, lkey=hs.lkey, src_addr=sa, rkey=hd.rkey, dst_addr=da, size=64))
+            assert qp.outstanding <= 2
+        yield from qp.drain()
+        assert qp.outstanding == 0
+
+    run_proc(tiny_cluster, prog(tiny_cluster.sim))
+
+
+def test_invalid_depth():
+    with pytest.raises(ValueError):
+        QueuePair(None, None, sq_depth=0)
+
+
+def test_drain_on_empty_qp_is_noop(tiny_cluster):
+    src, dst, *_ = _setup(tiny_cluster)
+    qp = QueuePair(src, dst)
+
+    def prog(sim):
+        yield from qp.drain()
+        return sim.now
+
+    assert run_proc(tiny_cluster, prog(tiny_cluster.sim)) == tiny_cluster.sim.now
