@@ -17,7 +17,6 @@ rank computes.  Three implementations:
 Run:  python examples/ring_broadcast.py
 """
 
-import numpy as np
 
 from repro.experiments.common import SimBarrier
 from repro.hw import Cluster, ClusterSpec

@@ -43,7 +43,7 @@ def main() -> None:
         ep = world.endpoint(1)
         dst = yield from ep.symmetric_alloc(SIZE)
         flag = yield from ep.symmetric_alloc(1, fill=0)
-        print(f"[PE 1] computing; no receive posted, ever")
+        print("[PE 1] computing; no receive posted, ever")
         yield ep.ctx.consume(20e-6)
         yield from ep.wait_until(flag, lambda v: v == 1)
         print(f"[PE 1] wait_until(flag==1) woke at      {sim.now * 1e6:6.1f} us")

@@ -14,7 +14,7 @@ size a dummy compute region to it, then measure the overall time of
 from __future__ import annotations
 
 from repro.apps.harness import OverlapResult, compute_with_tests, mean
-from repro.baselines.base import BackendStack, make_stack
+from repro.baselines.base import make_stack
 from repro.hw.params import ClusterSpec
 
 __all__ = ["pingpong_latency", "ialltoall_overlap", "run_ialltoall_series"]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.apps.harness import compute_with_tests, dims_create, mean
+from repro.apps.harness import compute_with_tests, dims_create
 from repro.baselines.base import make_stack
 from repro.hw.params import ClusterSpec
 

@@ -55,14 +55,14 @@ def run(scale: str = "quick") -> FigureResult:
     imp_blues = improvement_pct(overall("bluesmpi"), overall("proposed"))
     imp_intel = improvement_pct(overall("intelmpi"), overall("proposed"))
     fig.check(
-        f"at the largest scale, Proposed beats BluesMPI substantially "
-        f"(paper: 47% at 16 nodes)",
+        "at the largest scale, Proposed beats BluesMPI substantially "
+        "(paper: 47% at 16 nodes)",
         imp_blues >= 20.0,
         f"{imp_blues:.1f}% at {largest} nodes / {fmt_size(big_block)}",
     )
     fig.check(
-        f"at the largest scale, Proposed beats IntelMPI substantially "
-        f"(paper: 58% at 16 nodes)",
+        "at the largest scale, Proposed beats IntelMPI substantially "
+        "(paper: 58% at 16 nodes)",
         imp_intel >= 25.0,
         f"{imp_intel:.1f}%",
     )

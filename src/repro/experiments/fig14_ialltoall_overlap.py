@@ -12,7 +12,6 @@ from repro.experiments.appruns import (
     FLAVORS,
     ialltoall_blocks,
     ialltoall_nodes,
-    ialltoall_spec,
     ialltoall_sweep,
 )
 from repro.experiments.common import FigureResult, Series, fmt_size

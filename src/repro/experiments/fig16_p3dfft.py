@@ -76,7 +76,7 @@ def run(scale: str = "quick") -> FigureResult:
         max(compute_times.values()) - min(compute_times.values())
         < 0.01 * max(compute_times.values())
         and mpi_times["bluesmpi"] == max(mpi_times.values()),
-        f"mpi: " + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in mpi_times.items()),
+        "mpi: " + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in mpi_times.items()),
     )
     return fig
 

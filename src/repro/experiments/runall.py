@@ -4,6 +4,10 @@ Options:
     figNN ...        only these figures (e.g. ``fig13 fig17``)
     --scale SCALE    quick (default) or paper
     --out DIR        also write each table to DIR/figNN.txt
+
+A crash in one figure no longer aborts the batch: the error is
+reported, the remaining figures still run, and the exit status is
+non-zero with a per-figure pass/fail summary at the end.
 """
 
 from __future__ import annotations
@@ -12,20 +16,33 @@ import argparse
 import importlib
 import sys
 import time
+import traceback
 from pathlib import Path
 
 from repro.experiments import ALL_FIGURES
 
-__all__ = ["main", "run_figures"]
+__all__ = ["main", "run_figures", "run_one"]
 
 
-def run_figures(names: list[str], scale: str = "quick") -> list:
-    results = []
-    for name in names:
+def run_one(name: str, scale: str = "quick"):
+    """Run one figure module; returns ``(figure, None)`` or ``(None, exc)``."""
+    try:
         module = importlib.import_module(f"repro.experiments.{name}")
         t0 = time.time()
         fig = module.run(scale=scale)
         fig.config.setdefault("wall_seconds", round(time.time() - t0, 1))
+        return fig, None
+    except Exception as exc:  # noqa: BLE001 - batch runner must keep going
+        return None, exc
+
+
+def run_figures(names: list[str], scale: str = "quick") -> list:
+    """Run several figures, raising on the first failure (library use)."""
+    results = []
+    for name in names:
+        fig, exc = run_one(name, scale=scale)
+        if exc is not None:
+            raise exc
         results.append(fig)
     return results
 
@@ -52,17 +69,26 @@ def main(argv: list[str] | None = None) -> int:
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
-    failed = 0
-    for fig in run_figures(selected, scale=args.scale):
+    statuses: list[tuple[str, str]] = []
+    for name in selected:
+        fig, exc = run_one(name, scale=args.scale)
+        if exc is not None:
+            print(f"{name}: CRASHED: {exc!r}", file=sys.stderr)
+            traceback.print_exception(exc, file=sys.stderr)
+            statuses.append((name, "crash"))
+            continue
         text = fig.render()
         print(text)
         print()
         if out_dir:
             (out_dir / f"{fig.fig_id}.txt").write_text(text + "\n")
-        if not fig.all_passed:
-            failed += 1
-    if failed:
-        print(f"{failed} figure(s) had failing shape checks")
+        statuses.append((name, "pass" if fig.all_passed else "shape-fail"))
+
+    bad = [(name, status) for name, status in statuses if status != "pass"]
+    if bad:
+        print(f"{len(bad)}/{len(statuses)} figure(s) failed:")
+        for name, status in bad:
+            print(f"  {name}: {status}")
         return 1
     print("all shape checks passed")
     return 0

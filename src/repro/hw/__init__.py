@@ -14,6 +14,13 @@ from repro.hw.params import ClusterSpec, MachineParams
 from repro.hw.memory import AddressSpace, PAGE_SIZE
 from repro.hw.nic import Hca
 from repro.hw.fabric import Fabric, Delivery
+from repro.hw.faults import (
+    OFFLOAD_CONTROL_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ProxyKillPlan,
+    RetryPolicy,
+)
 from repro.hw.node import Node, ProcessContext
 from repro.hw.cluster import Cluster
 from repro.hw.metrics import Metrics
@@ -24,10 +31,15 @@ __all__ = [
     "ClusterSpec",
     "Delivery",
     "Fabric",
+    "FaultPlan",
+    "FaultSpec",
     "Hca",
     "MachineParams",
     "Metrics",
     "Node",
+    "OFFLOAD_CONTROL_KINDS",
     "PAGE_SIZE",
     "ProcessContext",
+    "ProxyKillPlan",
+    "RetryPolicy",
 ]

@@ -26,6 +26,9 @@ class Cluster:
         self.sim = Simulator()
         self.metrics = Metrics()
         self.rng = RngRegistry(spec.seed)
+        #: Optional :class:`~repro.hw.faults.FaultPlan` (chaos testing);
+        #: installed via :meth:`install_faults`, None for clean runs.
+        self.fault_plan = None
 
         self.nodes: list[Node] = [Node(self, n) for n in range(spec.nodes)]
         self.fabric = Fabric(self.sim, [n.hca for n in self.nodes], self.params,
@@ -51,6 +54,19 @@ class Cluster:
                 )
                 self.nodes[node_id].dpu_procs.append(ctx)
                 self.proxies.append(ctx)
+
+    # -- fault injection ----------------------------------------------------
+    def install_faults(self, plan) -> "Cluster":
+        """Attach a :class:`~repro.hw.faults.FaultPlan` to this machine.
+
+        Binds the plan to the cluster's seeded RNG registry and hands it
+        to the fabric.  Must happen before traffic flows (ideally right
+        after construction); scheduled proxy kills are armed by
+        ``OffloadFramework`` at Init_Offload time.
+        """
+        self.fault_plan = plan.bind(self)
+        self.fabric.fault_plan = self.fault_plan
+        return self
 
     # -- lookups -----------------------------------------------------------
     @property

@@ -40,6 +40,9 @@ class Delivery:
     meta: Any = None
     #: Simulated arrival time (stamped by the fabric).
     time: float = field(default=0.0)
+    #: CQE status: "ok", or "error" when fault injection forced an error
+    #: completion (no bytes moved; the initiator must re-post).
+    status: str = "ok"
 
 
 @dataclass
@@ -60,6 +63,9 @@ class Fabric:
         #: Optional ClusterSpec for topology-aware hop counts (a
         #: two-level leaf/spine fabric when spec.nodes_per_switch > 0).
         self.spec = spec
+        #: Optional :class:`~repro.hw.faults.FaultPlan`; None keeps every
+        #: message on the original fault-free path.
+        self.fault_plan = None
 
     def one_way_latency(self, src_node: int, dst_node: int) -> float:
         if src_node == dst_node:
@@ -97,6 +103,11 @@ class Fabric:
         src_hca.count_post(initiator, size)
         t_posted = self.sim.now
 
+        plan = self.fault_plan
+        status, extra_delay = "ok", 0.0
+        if plan is not None:
+            status, extra_delay = plan.transfer_fate(kind, initiator, src_node, dst_node)
+
         def _run():
             serialization = src_hca.serialization_time(
                 size, initiator, src_mem, dst_mem
@@ -107,7 +118,7 @@ class Fabric:
                 yield self.sim.timeout(serialization)
             finally:
                 src_hca.tx.release(tx_req)
-            yield self.sim.timeout(self.one_way_latency(src_node, dst_node))
+            yield self.sim.timeout(self.one_way_latency(src_node, dst_node) + extra_delay)
             rx_req = dst_hca.rx.request()
             yield rx_req
             try:
@@ -121,8 +132,10 @@ class Fabric:
                 kind=kind,
                 meta=meta,
                 time=self.sim.now,
+                status=status,
             )
-            if on_deliver is not None:
+            # An error CQE moves no bytes: skip the payload callback.
+            if on_deliver is not None and status == "ok":
                 on_deliver(dv)
             tracer = getattr(self, "tracer", None)
             if tracer is not None:
@@ -148,6 +161,7 @@ class Fabric:
         size: Optional[int] = None,
         src_mem: str = "host",
         dst_mem: str = "host",
+        kind: str = "ctrl",
     ) -> Event:
         """Send a small control message into ``inbox`` (a Store).
 
@@ -156,6 +170,13 @@ class Fabric:
         fires at delivery.  Same-node host<->DPU control costs
         ``ctrl_latency`` one way, matching the paper's observation that
         the loopback path is latency-comparable to the wire.
+
+        ``kind`` names the protocol message ("rts", "fin", "counter",
+        ...) for tracing and for :class:`~repro.hw.faults.FaultPlan`
+        targeting.  A dropped or corrupted-and-discarded message never
+        reaches ``inbox`` and the returned event never fires (senders
+        treat control traffic as fire-and-forget; recovery is the
+        receiver's retransmit/timeout protocol).
         """
         nbytes = self.params.ctrl_bytes if size is None else size
         src_hca = self.hcas[src_node]
@@ -168,6 +189,10 @@ class Fabric:
             if src_node == dst_node
             else self.one_way_latency(src_node, dst_node)
         )
+        plan = self.fault_plan
+        action, extra_delay = "deliver", 0.0
+        if plan is not None:
+            action, extra_delay = plan.control_fate(kind, src_node, dst_node)
 
         def _run():
             serialization = src_hca.serialization_time(nbytes, initiator, src_mem, dst_mem)
@@ -177,7 +202,7 @@ class Fabric:
                 yield self.sim.timeout(serialization)
             finally:
                 src_hca.tx.release(tx_req)
-            yield self.sim.timeout(latency)
+            yield self.sim.timeout(latency + extra_delay)
             rx_req = dst_hca.rx.request()
             yield rx_req
             try:
@@ -186,7 +211,15 @@ class Fabric:
                 yield self.sim.timeout(serialization)
             finally:
                 dst_hca.rx.release(rx_req)
+            if action in ("drop", "corrupt"):
+                # Lost in flight (drop) or discarded by the receiver's
+                # ICRC check (corrupt): it never reaches the inbox.
+                src_hca.metrics.add(f"fabric.faults.{action}")
+                return
             inbox.put(msg)
+            if action == "dup":
+                src_hca.metrics.add("fabric.faults.dup")
+                inbox.put(msg)
             delivered.succeed(msg)
 
         self.sim.process(_run())

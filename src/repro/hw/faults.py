@@ -1,0 +1,244 @@
+"""Seeded fault injection for the simulated fabric and proxies.
+
+The reproduction's clean-room model assumes a perfectly reliable RDMA
+fabric and immortal proxy processes; related SmartNIC studies (Wahlgren
+et al., Chen et al.) flag the off-path proxy as a fragile single point
+of failure.  This module supplies the *chaos* side of that story:
+
+* :class:`FaultSpec` -- the knobs: per-message drop / duplicate /
+  corrupt / delay probabilities for control messages, an error-CQE
+  probability for RDMA data operations, and filters restricting which
+  message kinds / initiators are eligible.
+* :class:`ProxyKillPlan` -- a scheduled kill (and optional restart) of
+  one DPU proxy process.
+* :class:`FaultPlan` -- the seeded decision engine the
+  :class:`~repro.hw.fabric.Fabric` consults per message.  All draws
+  come from one named stream of :class:`~repro.sim.rng.RngRegistry`, so
+  a given (cluster seed, spec) pair always injects the identical fault
+  sequence -- chaos runs stay byte-for-byte reproducible.
+* :class:`RetryPolicy` -- the recovery constants (timeout, exponential
+  backoff, retry caps, the liveness deadline after which a host rank
+  abandons its proxy and falls back to the host-MPI style path).
+
+Fault semantics, mirroring real RC-transport behaviour:
+
+* **Control messages** (RTS/RTR/FIN/counter writes/group packets) model
+  writes into remote inboxes; a *drop* silently loses one, a *corrupt*
+  is detected by the receiver's ICRC check and discarded (same visible
+  effect, logged separately), a *dup* delivers it twice, a *delay* adds
+  an arbitrary extra in-flight latency.
+* **Data transfers** never lose bytes silently -- the reliable
+  transport retransmits at packet level -- but can complete with an
+  **error CQE** (``Delivery.status == "error"``): no data lands and the
+  initiator must re-post.
+
+With no plan installed (``cluster.fault_plan is None``) every hook in
+the stack takes its original path: fault-free runs are bit-identical to
+a build without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cluster import Cluster
+
+__all__ = [
+    "OFFLOAD_CONTROL_KINDS",
+    "FaultSpec",
+    "ProxyKillPlan",
+    "RetryPolicy",
+    "FaultPlan",
+]
+
+#: The offload framework's control-message kinds; a FaultSpec targeting
+#: exactly these shakes the offload stack while leaving the host-MPI
+#: baseline's (kind="ctrl") traffic untouched.
+OFFLOAD_CONTROL_KINDS = frozenset({
+    "rts", "rtr", "fin", "counter", "counter_probe",
+    "group_plan", "group_call", "gdesc", "gdesc_req", "plan_nack",
+    "fb_rts", "fb_fin",
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probability knobs of one fault campaign (all independent draws)."""
+
+    #: Probability one eligible control message is silently lost.
+    drop_prob: float = 0.0
+    #: Probability one eligible control message arrives twice.
+    dup_prob: float = 0.0
+    #: Probability one eligible control message is corrupted in flight
+    #: (detected by the receiver's ICRC and discarded -- a logged drop).
+    corrupt_prob: float = 0.0
+    #: Probability an extra in-flight delay is added (control and data).
+    delay_prob: float = 0.0
+    #: Extra delay is uniform in (0, delay_max] seconds.
+    delay_max: float = 25e-6
+    #: Probability an RDMA data operation completes with an error CQE.
+    error_cqe_prob: float = 0.0
+    #: Which control-message kinds are eligible (None = all kinds).
+    control_kinds: Optional[frozenset] = None
+    #: Which initiators' data operations can take an error CQE.
+    error_initiators: tuple = ("dpu", "host")
+
+    def __post_init__(self):
+        for name in ("drop_prob", "dup_prob", "corrupt_prob", "delay_prob",
+                     "error_cqe_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p!r} is not a probability")
+        if self.delay_max < 0:
+            raise ValueError("delay_max must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProxyKillPlan:
+    """Kill proxy ``proxy_gid`` at simulated time ``at``.
+
+    ``restart_after`` seconds later the process is relaunched (its DPU
+    DRAM state -- plan cache, counter board, sequence counters --
+    survives; process-local matching queues do not).  ``None`` means the
+    proxy stays dead, which exercises the host fallback path.
+    """
+
+    proxy_gid: int
+    at: float
+    restart_after: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Recovery constants of the offload layer (documented in docs/FAULTS.md)."""
+
+    #: Initial host-side wait timeout before the first retransmit.
+    timeout: float = 50e-6
+    #: Exponential backoff factor applied per retransmit.
+    backoff: float = 2.0
+    #: Ceiling on the per-attempt timeout.
+    max_timeout: float = 800e-6
+    #: Retransmit attempts before a Wait gives up loudly.
+    max_attempts: int = 30
+    #: Liveness deadline: a basic-primitive Wait that has seen no
+    #: completion for this long declares its proxy dead and falls back
+    #: to the host-driven path (logged, not fatal).
+    fallback_after: float = 2e-3
+    #: Proxy-side re-posts of an RDMA op that completed with an error CQE.
+    rdma_retry_limit: int = 12
+    #: Backoff between RDMA re-posts.
+    rdma_backoff: float = 20e-6
+    #: Proxy-side timeout before probing a peer for a lost counter write.
+    counter_probe_after: float = 80e-6
+
+
+class FaultPlan:
+    """Deterministic per-message fault decisions plus an audit trace.
+
+    Construct with a :class:`FaultSpec` and optional
+    :class:`ProxyKillPlan` list, then install on a cluster via
+    :meth:`repro.hw.cluster.Cluster.install_faults` (which binds the
+    plan to the cluster's seeded RNG registry and hands it to the
+    fabric).  ``seed`` overrides the cluster seed for the fault stream.
+    """
+
+    def __init__(self, spec: FaultSpec = FaultSpec(),
+                 kills: tuple = (), seed: Optional[int] = None):
+        self.spec = spec
+        self.kills = tuple(kills)
+        self.seed = seed
+        self.sim = None
+        self._rng = None
+        #: (time, category, detail) audit records, in decision order.
+        self.events: list[tuple] = []
+        self.stats: dict[str, int] = {
+            "drops": 0, "dups": 0, "corruptions": 0, "delays": 0,
+            "error_cqes": 0, "kills": 0, "restarts": 0,
+        }
+
+    # -- wiring ---------------------------------------------------------
+    def bind(self, cluster: "Cluster") -> "FaultPlan":
+        self.sim = cluster.sim
+        registry = RngRegistry(self.seed) if self.seed is not None else cluster.rng
+        self._rng = registry.stream("faults")
+        return self
+
+    def _require_bound(self):
+        if self._rng is None:
+            raise RuntimeError("FaultPlan is not bound to a cluster "
+                               "(use cluster.install_faults(plan))")
+
+    # -- audit ----------------------------------------------------------
+    def record(self, category: str, detail: str) -> None:
+        now = 0.0 if self.sim is None else self.sim.now
+        self.events.append((round(now, 12), category, detail))
+
+    def trace(self) -> tuple:
+        """Immutable audit trail; byte-identical across reruns of one seed."""
+        return tuple(self.events)
+
+    # -- decisions (called by the fabric) --------------------------------
+    def _eligible_control(self, kind: str) -> bool:
+        allowed = self.spec.control_kinds
+        return allowed is None or kind in allowed
+
+    def control_fate(self, kind: str, src_node: int, dst_node: int):
+        """Fate of one control message: ``(action, extra_delay)``.
+
+        ``action`` is one of ``"deliver" | "drop" | "corrupt" | "dup"``;
+        ``extra_delay`` is added to the in-flight latency (0.0 normally).
+        """
+        self._require_bound()
+        spec = self.spec
+        if not self._eligible_control(kind):
+            return "deliver", 0.0
+        where = f"{kind} n{src_node}->n{dst_node}"
+        action = "deliver"
+        r = float(self._rng.random())
+        if r < spec.drop_prob:
+            action = "drop"
+            self.stats["drops"] += 1
+            self.record("drop", where)
+        elif r < spec.drop_prob + spec.corrupt_prob:
+            action = "corrupt"
+            self.stats["corruptions"] += 1
+            self.record("corrupt", where)
+        elif r < spec.drop_prob + spec.corrupt_prob + spec.dup_prob:
+            action = "dup"
+            self.stats["dups"] += 1
+            self.record("dup", where)
+        extra = 0.0
+        if action in ("deliver", "dup") and spec.delay_prob > 0.0:
+            if float(self._rng.random()) < spec.delay_prob:
+                extra = float(self._rng.random()) * spec.delay_max
+                self.stats["delays"] += 1
+                self.record("delay", f"{where} +{extra:.3e}s")
+        return action, extra
+
+    def transfer_fate(self, kind: str, initiator: str,
+                      src_node: int, dst_node: int):
+        """Fate of one RDMA data operation: ``(status, extra_delay)``.
+
+        ``status`` is ``"ok"`` or ``"error"`` (an error CQE: the
+        operation completes without moving any bytes).
+        """
+        self._require_bound()
+        spec = self.spec
+        status = "ok"
+        where = f"{kind} n{src_node}->n{dst_node} by {initiator}"
+        if spec.error_cqe_prob > 0.0 and initiator in spec.error_initiators:
+            if float(self._rng.random()) < spec.error_cqe_prob:
+                status = "error"
+                self.stats["error_cqes"] += 1
+                self.record("error_cqe", where)
+        extra = 0.0
+        if status == "ok" and spec.delay_prob > 0.0:
+            if float(self._rng.random()) < spec.delay_prob:
+                extra = float(self._rng.random()) * spec.delay_max
+                self.stats["delays"] += 1
+                self.record("delay", f"{where} +{extra:.3e}s")
+        return status, extra

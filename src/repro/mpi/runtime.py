@@ -32,7 +32,7 @@ Protocols:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING, Iterable
 
 from repro.hw.node import ProcessContext
 from repro.mpi.communicator import Communicator
@@ -76,6 +76,26 @@ class MpiRuntime:
         #: Total simulated time this rank spent inside MPI calls
         #: (Fig 16c's "Time spent in MPI").
         self.time_in_mpi = 0.0
+        self.sim.watchdog_probes.append(self._watchdog_report)
+
+    def _watchdog_report(self):
+        """Lines for :class:`repro.sim.DeadlockError` when the sim hangs."""
+        if self._awaiting_fin:
+            yield (
+                f"mpi rank {self.rank}: rendezvous send(s) "
+                f"{sorted(self._awaiting_fin)} never saw a FIN"
+            )
+        posted = [(r.peer, r.tag) for r in self.matching._posted]
+        if posted:
+            yield (
+                f"mpi rank {self.rank}: posted receive(s) unmatched "
+                f"(peer, tag)={posted}"
+            )
+        if self._collectives:
+            yield (
+                f"mpi rank {self.rank}: {len(self._collectives)} "
+                f"collective(s) still in flight"
+            )
 
     # ------------------------------------------------------------------
     # public API (timed wrappers)

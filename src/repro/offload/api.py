@@ -29,9 +29,11 @@ repeat calls.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from repro.hw.cluster import Cluster
+from repro.hw.faults import RetryPolicy
 from repro.hw.node import ProcessContext
 from repro.mpi.regcache import RegistrationCache
 from repro.offload.group_cache import HostGroupCache
@@ -45,9 +47,13 @@ from repro.offload.requests import (
 )
 from repro.sim import Event, Store
 from repro.verbs.gvmi import gvmi_id_of
-from repro.verbs.rdma import post_control
+from repro.verbs.rdma import post_control, rdma_read
 
 __all__ = ["OffloadFramework", "OffloadEndpoint"]
+
+#: Unique ids stamped on group receive descriptors so the receiving
+#: endpoint can discard fault-injected duplicates/replays.
+_desc_ids = itertools.count(1)
 
 
 class _CompletionSink:
@@ -78,7 +84,8 @@ class OffloadFramework:
     """
 
     def __init__(self, cluster: Cluster, mode: str = "gvmi",
-                 group_caching: bool = True, gvmi_caching: bool = True):
+                 group_caching: bool = True, gvmi_caching: bool = True,
+                 retry: Optional[RetryPolicy] = None):
         if mode not in ("gvmi", "staged"):
             raise OffloadError(f"unknown offload mode {mode!r}")
         self.cluster = cluster
@@ -92,12 +99,30 @@ class OffloadFramework:
         #: Section VII-B registration caching (off = register every time;
         #: the ablation for the array-of-BST cache design).
         self.gvmi_caching = gvmi_caching
+
+        #: Fault/recovery wiring (docs/FAULTS.md).  A cluster with an
+        #: installed FaultPlan gets the default RetryPolicy implicitly;
+        #: ``resilient`` gates EVERY recovery branch in the stack so a
+        #: clean run (no plan, no policy) is bit-identical to a build
+        #: without the chaos machinery.
+        self.fault_plan = cluster.fault_plan
+        if retry is None and self.fault_plan is not None:
+            retry = RetryPolicy()
+        self.retry = retry
+        self.resilient = retry is not None
+        #: (time, rank, kind, req_id) records of graceful degradations
+        #: (requests that abandoned their proxy for the host path).
+        self.fallback_log: list[tuple] = []
+
         self._endpoints: list[OffloadEndpoint] = [
             OffloadEndpoint(self, ctx) for ctx in cluster.ranks
         ]
         self._proxy_engines: dict[int, ProxyEngine] = {
             ctx.global_id: ProxyEngine(self, ctx) for ctx in cluster.proxies
         }
+        if self.fault_plan is not None:
+            for kill in self.fault_plan.kills:
+                self.sim.process(self._execute_kill(kill))
         p = cluster.params
         world = cluster.world_size + len(cluster.proxies)
         setup = 2 * p.ctrl_latency + max(1, world - 1).bit_length() * (
@@ -105,6 +130,20 @@ class OffloadFramework:
         )
         self.ready: Event = self.sim.timeout(setup)
         self.finalized = False
+
+    def _execute_kill(self, kill):
+        """Arm one scheduled ProxyKillPlan (a simulation process)."""
+        plan = self.fault_plan
+        engine = self._proxy_engines[kill.proxy_gid]
+        yield self.sim.timeout(max(0.0, kill.at - self.sim.now))
+        plan.stats["kills"] += 1
+        plan.record("kill", f"proxy{kill.proxy_gid}")
+        engine.kill()
+        if kill.restart_after is not None:
+            yield self.sim.timeout(kill.restart_after)
+            plan.stats["restarts"] += 1
+            plan.record("restart", f"proxy{kill.proxy_gid}")
+            engine.restart()
 
     def endpoint(self, rank: int) -> "OffloadEndpoint":
         return self._endpoints[rank]
@@ -168,6 +207,21 @@ class OffloadEndpoint:
         self._recv_descs: dict[tuple[int, int], list[dict]] = {}
         self._ready_seen = False
 
+        # -- resilience state (only touched when framework.resilient) ---
+        self.retry = framework.retry
+        self.resilient = framework.resilient
+        #: Fallback offers (fb_rts) not yet matched to a local receive.
+        self._fb_rts: list[dict] = []
+        #: src_req ids already served by a fallback pull (idempotent
+        #: fb_fin resend on duplicate offers).
+        self._fb_served: dict[int, int] = {}
+        #: desc_ids of group descriptors already applied (dup discard).
+        self._gdesc_seen: set[int] = set()
+        #: Descriptors I sent, keyed (sender rank, tag), replayed on a
+        #: gdesc_req when the original was lost.
+        self._gdesc_sent: dict[tuple[int, int], list[dict]] = {}
+        self.sim.watchdog_probes.append(self._watchdog_report)
+
     # ------------------------------------------------------------------
     # shared plumbing
     # ------------------------------------------------------------------
@@ -180,6 +234,12 @@ class OffloadEndpoint:
     def _complete_by_id(self, req_id: int) -> None:
         req = self._pending.pop(req_id, None)
         if req is None:
+            if self.resilient:
+                # Duplicate FIN: a retransmit-triggered resend, or a
+                # revived proxy finishing work the fallback path already
+                # completed.  Benign under recovery -- count and drop.
+                self.ctx.cluster.metrics.add("offload.dup_completions")
+                return
             raise OffloadError(f"completion write for unknown request {req_id}")
         req.complete = True
         req.complete_time = self.sim.now
@@ -189,6 +249,12 @@ class OffloadEndpoint:
     def _register_pending(self, req) -> None:
         req.event = Event(self.sim)
         self._pending[req.req_id] = req
+
+    def _watchdog_report(self):
+        """Lines for :class:`repro.sim.DeadlockError` when the sim hangs."""
+        if self._pending:
+            ids = sorted(self._pending)
+            yield f"rank {self.rank}: offload request(s) {ids} never completed"
 
     # ------------------------------------------------------------------
     # Basic primitives (Listing 2, Section VII-A)
@@ -223,7 +289,9 @@ class OffloadEndpoint:
                 "mkey": mkey.key, "gvmi_id": gvmi,
                 "req_id": req.req_id,
             }
-        yield from post_control(self.ctx, proxy, ("rts", rts))
+        if self.resilient:
+            req.resend = (proxy, ("rts", rts))
+        yield from post_control(self.ctx, proxy, ("rts", rts), kind="rts")
         return req
 
     def recv_offload(self, addr: int, size: int, src: int, tag: int):
@@ -235,16 +303,15 @@ class OffloadEndpoint:
         handle = yield from self.ib_cache.get(addr, size)
         proxy = self.framework.cluster.proxy_for_rank(src)
         self.ctx.cluster.metrics.add("offload.basic_recvs")
-        yield from post_control(
-            self.ctx,
-            proxy,
-            ("rtr", {
-                "src": src, "dst": self.rank, "tag": tag,
-                "addr": addr, "size": size,
-                "rkey": handle.rkey,
-                "req_id": req.req_id,
-            }),
-        )
+        rtr = {
+            "src": src, "dst": self.rank, "tag": tag,
+            "addr": addr, "size": size,
+            "rkey": handle.rkey,
+            "req_id": req.req_id,
+        }
+        if self.resilient:
+            req.resend = (proxy, ("rtr", rtr))
+        yield from post_control(self.ctx, proxy, ("rtr", rtr), kind="rtr")
         return req
 
     def wait(self, req) -> None:
@@ -252,12 +319,201 @@ class OffloadEndpoint:
 
         No protocol work happens here -- the host merely observes the
         completion counter (so an application that computes instead of
-        waiting loses nothing: perfect overlap).
+        waiting loses nothing: perfect overlap).  With resilience armed
+        the wait doubles as the recovery driver: it retransmits the
+        request's control message with exponential backoff, serves
+        fallback offers from peers, and -- past the liveness deadline --
+        degrades a basic operation to the host-driven path.
         """
         if not req.complete:
-            yield req.event
+            if self.resilient:
+                yield from self._wait_resilient(req)
+            else:
+                yield req.event
         if isinstance(req, OffloadGroupRequest):
             req.state = "ready"
+
+    def _wait_resilient(self, req) -> None:
+        pol = self.retry
+        start = self.sim.now
+        timeout = pol.timeout
+        attempts = 0
+        while not req.complete:
+            yield self.sim.any_of([req.event, self.sim.timeout(timeout)])
+            if req.complete:
+                break
+            yield from self._drain_inbox()
+            yield from self._try_fb_matches()
+            if req.complete:
+                break
+            attempts += 1
+            if attempts > pol.max_attempts:
+                raise OffloadError(
+                    f"rank {self.rank}: request {req.req_id} still incomplete "
+                    f"after {pol.max_attempts} retransmits"
+                )
+            if (
+                isinstance(req, OffloadRequest)
+                and not req.fallback
+                and self.sim.now - start >= pol.fallback_after
+            ):
+                yield from self._engage_fallback(req)
+            else:
+                yield from self._retransmit(req)
+            timeout = min(timeout * pol.backoff, pol.max_timeout)
+
+    def _retransmit(self, req) -> None:
+        self.ctx.cluster.metrics.add("offload.retransmits")
+        if isinstance(req, OffloadGroupRequest):
+            yield from self._retransmit_group(req)
+            return
+        if req.fallback and req.kind == "send":
+            # The offer itself may have been lost: repeat it.
+            yield from self._send_fb_rts(req)
+            return
+        proxy, msg = req.resend
+        yield from post_control(self.ctx, proxy, msg, kind=msg[0])
+
+    def _retransmit_group(self, greq: OffloadGroupRequest) -> None:
+        plan = greq.resend_plan
+        if plan is None:  # pragma: no cover - defensive
+            raise OffloadError("group retransmit without a saved plan")
+        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        if plan.sent_to_proxy and not plan.dirty:
+            yield from post_control(
+                self.ctx, proxy,
+                ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
+                                "req_id": greq.req_id}),
+                kind="group_call",
+            )
+            return
+        packet = {
+            "plan_id": plan.plan_id,
+            "host_rank": self.rank,
+            "entries": plan.entries,
+            "req_id": greq.req_id,
+        }
+        nbytes = max(
+            self.params.ctrl_bytes,
+            len(plan.entries) * self.params.group_op_bytes,
+        )
+        yield from post_control(self.ctx, proxy, ("group_plan", packet),
+                                size=nbytes, kind="group_plan")
+        plan.sent_to_proxy = True
+        plan.dirty = False
+
+    # ------------------------------------------------------------------
+    # graceful degradation: the host-driven fallback path
+    # ------------------------------------------------------------------
+    def _engage_fallback(self, req: OffloadRequest) -> None:
+        """The proxy missed its liveness deadline: leave the offload path.
+
+        A send offers its (IB-registered) buffer straight to the peer
+        endpoint; the peer pulls with a host-initiated RDMA READ and
+        FINs back -- the classic host rendezvous, with no proxy in the
+        loop.  A receive degrades passively: it simply waits for the
+        sender's offer (or a revived proxy, whichever is first).
+        Logged, never fatal.
+        """
+        req.fallback = True
+        self.ctx.cluster.metrics.add("offload.fallbacks")
+        self.framework.fallback_log.append(
+            (round(self.sim.now, 9), self.rank, req.kind, req.req_id)
+        )
+        if req.kind == "send":
+            yield from self._send_fb_rts(req)
+
+    def _send_fb_rts(self, req: OffloadRequest) -> None:
+        handle = yield from self.ib_cache.get(req.addr, req.size)
+        peer_ep = self.framework.endpoint(req.peer)
+        self.ctx.cluster.metrics.add("offload.fb_rts")
+        yield from post_control(
+            self.ctx, peer_ep.ctx,
+            ("fb_rts", {
+                "src": self.rank, "dst": req.peer, "tag": req.tag,
+                "addr": req.addr, "size": req.size, "rkey": handle.rkey,
+                "src_req": req.req_id,
+            }),
+            inbox=peer_ep.inbox,
+            kind="fb_rts",
+        )
+
+    def _try_fb_matches(self) -> None:
+        """Serve queued fallback offers against my pending receives."""
+        if not self._fb_rts:
+            return
+        remaining = []
+        for fb in self._fb_rts:
+            if fb["src_req"] in self._fb_served:
+                # Duplicate offer for a pull already done: only the
+                # sender's FIN can have been lost -- resend it.
+                yield from self._send_fb_fin(fb["src"], fb["src_req"])
+                continue
+            req = self._match_fb(fb)
+            if req is None:
+                remaining.append(fb)
+                continue
+            yield from self._fb_pull(fb, req)
+        self._fb_rts = remaining
+
+    def _match_fb(self, fb: dict):
+        for req in self._pending.values():
+            if (
+                isinstance(req, OffloadRequest)
+                and req.kind == "recv"
+                and not req.complete
+                and req.peer == fb["src"]
+                and req.tag == fb["tag"]
+            ):
+                return req
+        return None
+
+    def _fb_pull(self, fb: dict, req: OffloadRequest) -> None:
+        """Host-initiated pull of a fallback offer into my receive buffer."""
+        if fb["size"] > req.size:
+            raise OffloadError(
+                f"fallback send of {fb['size']} bytes overflows receive of "
+                f"{req.size} (src={fb['src']} tag={fb['tag']})"
+            )
+        handle = yield from self.ib_cache.get(req.addr, req.size)
+        self.ctx.cluster.metrics.add("offload.fb_pulls")
+        attempt = 1
+        while True:
+            transfer = yield from rdma_read(
+                self.ctx,
+                lkey=handle.lkey,
+                local_addr=req.addr,
+                rkey=fb["rkey"],
+                remote_addr=fb["addr"],
+                size=fb["size"],
+            )
+            dv = yield transfer.completed
+            if getattr(dv, "status", "ok") != "error":
+                break
+            attempt += 1
+            if attempt > self.retry.rdma_retry_limit:
+                raise OffloadError("fallback pull exceeded the RDMA re-post limit")
+            yield self.sim.timeout(self.retry.rdma_backoff * attempt)
+        req.fallback = True
+        self._fb_served[fb["src_req"]] = fb["src"]
+        self._complete_by_id(req.req_id)
+        yield from self._send_fb_fin(fb["src"], fb["src_req"])
+
+    def _send_fb_fin(self, src_rank: int, src_req: int) -> None:
+        """Complete the offering sender directly (its completion sink)."""
+        peer_ep = self.framework.endpoint(src_rank)
+        yield self.ctx.consume(self.ctx.hca.post_overhead("host"))
+        self.ctx.cluster.metrics.add("offload.fb_fins")
+        self.ctx.cluster.fabric.control(
+            src_node=self.ctx.node_id,
+            dst_node=peer_ep.ctx.node_id,
+            initiator="host",
+            inbox=peer_ep.completion_sink,
+            msg=src_req,
+            src_mem="host",
+            dst_mem="host",
+            kind="fb_fin",
+        )
 
     def waitall(self, reqs) -> None:
         for req in reqs:
@@ -320,10 +576,13 @@ class OffloadEndpoint:
         metrics = self.ctx.cluster.metrics
         if plan is not None and plan.sent_to_proxy and not plan.dirty:
             metrics.add("offload.group_call_cached")
+            if self.resilient:
+                greq.resend_plan = plan
             yield from post_control(
                 self.ctx, proxy,
                 ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
                                 "req_id": greq.req_id}),
+                kind="group_call",
             )
             return greq
 
@@ -350,7 +609,10 @@ class OffloadEndpoint:
             self.params.ctrl_bytes,
             len(plan.entries) * self.params.group_op_bytes,
         )
-        yield from post_control(self.ctx, proxy, ("group_plan", packet), size=nbytes)
+        if self.resilient:
+            greq.resend_plan = plan
+        yield from post_control(self.ctx, proxy, ("group_plan", packet),
+                                size=nbytes, kind="group_plan")
         plan.sent_to_proxy = True
         plan.dirty = False
         return greq
@@ -400,13 +662,20 @@ class OffloadEndpoint:
                     "src": op.peer, "tag": op.tag,
                 })
                 peer_ep = self.framework.endpoint(op.peer)
+                desc = {
+                    "src": op.peer, "dst": self.rank, "tag": op.tag,
+                    "addr": op.addr, "size": op.size, "rkey": handle.rkey,
+                }
+                if self.resilient:
+                    # Stamp for receiver-side dedupe and keep for replay
+                    # should the sender ask (gdesc_req) after a loss.
+                    desc["desc_id"] = next(_desc_ids)
+                    self._gdesc_sent.setdefault((op.peer, op.tag), []).append(desc)
                 yield from post_control(
                     self.ctx, peer_ep.ctx,
-                    ("gdesc", {
-                        "src": op.peer, "dst": self.rank, "tag": op.tag,
-                        "addr": op.addr, "size": op.size, "rkey": handle.rkey,
-                    }),
+                    ("gdesc", desc),
                     inbox=peer_ep.inbox,
+                    kind="gdesc",
                 )
             else:
                 entries.append({"kind": "barrier"})
@@ -432,8 +701,36 @@ class OffloadEndpoint:
             bucket = self._recv_descs.get(key)
             if bucket:
                 return bucket.pop(0)
-            item = yield self.inbox.get()
-            yield from self._handle_inbox_item(item)
+            if not self.resilient:
+                item = yield self.inbox.get()
+                yield from self._handle_inbox_item(item)
+            else:
+                yield from self._await_descriptor_resilient(key)
+
+    def _await_descriptor_resilient(self, key: tuple[int, int]) -> None:
+        """One bounded wait for a descriptor; nudges the peer on timeout.
+
+        The gdesc may have been dropped in flight, so the get races a
+        timeout; on expiry a ``gdesc_req`` asks the receiving endpoint to
+        replay everything it recorded for me under this (rank, tag).
+        """
+        timeout = self.retry.timeout
+        while not self._recv_descs.get(key):
+            get_ev = self.inbox.get()
+            yield self.sim.any_of([get_ev, self.sim.timeout(timeout)])
+            if get_ev.triggered:
+                yield from self._handle_inbox_item(get_ev.value)
+                return
+            self.inbox.cancel(get_ev)
+            peer_ep = self.framework.endpoint(key[0])
+            self.ctx.cluster.metrics.add("offload.gdesc_reqs")
+            yield from post_control(
+                self.ctx, peer_ep.ctx,
+                ("gdesc_req", {"src": self.rank, "tag": key[1]}),
+                inbox=peer_ep.inbox,
+                kind="gdesc_req",
+            )
+            timeout = min(timeout * self.retry.backoff, self.retry.max_timeout)
 
     def _drain_inbox(self):
         while True:
@@ -447,9 +744,38 @@ class OffloadEndpoint:
         yield self.ctx.consume(self.params.host_handler_cost)
         if kind == "gdesc":
             desc = item[1]
+            desc_id = desc.get("desc_id")
+            if desc_id is not None:
+                if desc_id in self._gdesc_seen:
+                    self.ctx.cluster.metrics.add("offload.dup_gdesc_dropped")
+                    return
+                self._gdesc_seen.add(desc_id)
             key = (desc["dst"], desc["tag"])
             self._recv_descs.setdefault(key, []).append(desc)
             # Patch cached plans if this supersedes an old descriptor.
             self.group_cache.patch_descriptor(desc["src"], desc["tag"], desc["dst"], desc)
+        elif kind == "gdesc_req":
+            info = item[1]
+            # A sender never saw one of my descriptors: replay everything
+            # recorded for it (desc_id dedupe on its side keeps this
+            # idempotent).
+            peer_ep = self.framework.endpoint(info["src"])
+            for desc in self._gdesc_sent.get((info["src"], info["tag"]), []):
+                self.ctx.cluster.metrics.add("offload.gdesc_replays")
+                yield from post_control(
+                    self.ctx, peer_ep.ctx, ("gdesc", desc),
+                    inbox=peer_ep.inbox, kind="gdesc",
+                )
+        elif kind == "plan_nack":
+            info = item[1]
+            self.ctx.cluster.metrics.add("offload.plan_nacks")
+            self.group_cache.invalidate(info["plan_id"])
+            req = self._pending.get(info["req_id"])
+            plan = getattr(req, "resend_plan", None)
+            if plan is not None and plan.plan_id == info["plan_id"]:
+                plan.sent_to_proxy = False
+                plan.dirty = True
+        elif kind == "fb_rts":
+            self._fb_rts.append(item[1])
         else:  # pragma: no cover - defensive
             raise OffloadError(f"endpoint: unknown inbox item {kind!r}")

@@ -21,7 +21,7 @@ the next call re-ships the corrected plan to the proxy.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 __all__ = ["HostPlan", "HostGroupCache", "DpuPlanCache"]
@@ -87,6 +87,19 @@ class HostGroupCache:
                 plan.sent_to_proxy = False
                 patched += 1
         return patched
+
+    def invalidate(self, plan_id: int) -> bool:
+        """Mark a plan as no longer held by the proxy (NACK handling).
+
+        The next call on its pattern re-ships the full entries instead
+        of the plan-ID-only fast path.  True if the plan was found.
+        """
+        for plan in self._by_sig.values():
+            if plan.plan_id == plan_id:
+                plan.sent_to_proxy = False
+                plan.dirty = True
+                return True
+        return False
 
     def __len__(self) -> int:
         return len(self._by_sig)

@@ -67,35 +67,8 @@ class GroupExecutor:
         for entry in self.plan["entries"]:
             kind = entry["kind"]
             if kind == "send":
-                if engine.mode == "staged":
-                    done = yield from engine.staged_send_start(
-                        src_rkey=entry["src_rkey"], src_addr=entry["addr"],
-                        size=entry["size"],
-                        dst_rkey=entry["rkey"], dst_addr=entry["dst_addr"],
-                    )
-                    pending.append(done)
-                else:
-                    mkey2_key = entry.get("mkey2")
-                    if mkey2_key is None:
-                        info = yield from engine.gvmi_cache.get(
-                            host_rank, entry["gvmi_id"], entry["mkey"],
-                            entry.get("reg_addr", entry["addr"]),
-                            entry.get("reg_size", entry["size"]),
-                        )
-                        mkey2_key = info.key
-                        # Attach for future cached invocations (Section
-                        # VII-D: "the group entry queue also contains the
-                        # GVMI registration cache entry").
-                        entry["mkey2"] = mkey2_key
-                    transfer = yield from rdma_write(
-                        ctx,
-                        lkey=mkey2_key,
-                        src_addr=entry["addr"],
-                        rkey=entry["rkey"],
-                        dst_addr=entry["dst_addr"],
-                        size=entry["size"],
-                    )
-                    pending.append(transfer.completed)
+                done = yield from self._post_send(entry)
+                pending.append((entry, done))
                 send_set.add(entry["dst"])
             elif kind == "recv":
                 recv_set.add(entry["src"])
@@ -121,29 +94,77 @@ class GroupExecutor:
                 engine.counters.clear((src, dst, seq))
 
         # Completion-counter RDMA write into host memory: Group_Wait
-        # observes it with zero host-side protocol work.
-        ep = engine.framework.endpoint(host_rank)
-        yield ctx.consume(ctx.hca.post_overhead("dpu"))
-        ctx.cluster.metrics.add("proxy.group_completions")
-        ctx.cluster.fabric.control(
-            src_node=ctx.node_id,
-            dst_node=ep.ctx.node_id,
-            initiator="dpu",
-            inbox=ep.completion_sink,
-            msg=self.req_id,
-            size=8,
-            src_mem="dpu",
-            dst_mem="host",
-        )
+        # observes it with zero host-side protocol work.  Routed through
+        # the engine so the "done" fact is recorded durably first (a
+        # replayed invocation then only resends this write).
+        yield from engine.finish_group(host_rank, self.req_id)
 
     # ------------------------------------------------------------------
-    def _flush_segment(self, pending, send_set, host_rank, epoch):
-        """Wait for the segment's sends, then write counters to their peers."""
+    def _post_send(self, entry):
+        """Post one send entry; returns its completion event (a generator)."""
         engine = self.engine
-        if pending:
-            incomplete = [ev for ev in pending if not ev.processed]
+        if engine.mode == "staged":
+            done = yield from engine.staged_send_start(
+                src_rkey=entry["src_rkey"], src_addr=entry["addr"],
+                size=entry["size"],
+                dst_rkey=entry["rkey"], dst_addr=entry["dst_addr"],
+            )
+            return done
+        mkey2_key = entry.get("mkey2")
+        if mkey2_key is None:
+            info = yield from engine.gvmi_cache.get(
+                self.plan["host_rank"], entry["gvmi_id"], entry["mkey"],
+                entry.get("reg_addr", entry["addr"]),
+                entry.get("reg_size", entry["size"]),
+            )
+            mkey2_key = info.key
+            # Attach for future cached invocations (Section VII-D: "the
+            # group entry queue also contains the GVMI registration
+            # cache entry").
+            entry["mkey2"] = mkey2_key
+        transfer = yield from rdma_write(
+            self.engine.ctx,
+            lkey=mkey2_key,
+            src_addr=entry["addr"],
+            rkey=entry["rkey"],
+            dst_addr=entry["dst_addr"],
+            size=entry["size"],
+        )
+        return transfer.completed
+
+    def _flush_segment(self, pending, send_set, host_rank, epoch):
+        """Wait for the segment's sends, then write counters to their peers.
+
+        Under fault injection a send can complete with an error CQE (no
+        bytes moved); those entries are re-posted with backoff until they
+        land or the re-post limit trips.
+        """
+        engine = self.engine
+        attempt = 1
+        while pending:
+            incomplete = [ev for _entry, ev in pending if not ev.processed]
             if incomplete:
                 yield (PARK, engine.sim.all_of(incomplete))
+            if not engine.resilient:
+                break
+            failed = [
+                entry for entry, ev in pending
+                if getattr(ev.value, "status", "ok") == "error"
+            ]
+            if not failed:
+                break
+            if attempt > engine.retry.rdma_retry_limit:
+                raise OffloadError(
+                    f"group send segment of host {host_rank} exceeded "
+                    f"{engine.retry.rdma_retry_limit} RDMA re-posts"
+                )
+            engine.ctx.cluster.metrics.add("proxy.rdma_retries")
+            yield (PARK, engine.sim.timeout(engine.retry.rdma_backoff * attempt))
+            attempt += 1
+            pending = []
+            for entry in failed:
+                done = yield from self._post_send(entry)
+                pending.append((entry, done))
         for dst in sorted(send_set):
             seq = self.seqs[(host_rank, dst)]
             yield from engine.write_counter_to(dst, (host_rank, dst, seq), epoch)
@@ -153,7 +174,12 @@ class GroupExecutor:
         engine = self.engine
         for src in sorted(recv_set):
             seq = self.seqs[(src, host_rank)]
-            ev = engine.counters.wait((src, host_rank, seq), epoch)
+            key = (src, host_rank, seq)
+            ev = engine.counters.wait(key, epoch)
             if not ev.processed:
+                # Chase a possibly-dropped counter write (no-op when the
+                # run is clean).
+                engine.arm_counter_probe(key, ev, writer_rank=src,
+                                         my_rank=host_rank)
                 yield (PARK, ev)
             yield engine.ctx.consume(engine.params.dpu_handler_cost * 0.25)

@@ -25,14 +25,14 @@ host ranks keeps making progress for the others.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any
 
 from repro.hw.node import ProcessContext
 from repro.offload.group_cache import DpuPlanCache
 from repro.offload.gvmi_cache import DpuGvmiCache
 from repro.offload.requests import OffloadError
 from repro.offload.staging import StagingChannel
-from repro.sim import Event
+from repro.sim import Event, Interrupt
 from repro.verbs.rdma import rdma_read, rdma_write
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -62,10 +62,11 @@ class CounterBoard:
         self._waiters: dict[tuple, list[tuple[int, Event]]] = {}
 
     def write(self, key: tuple, epoch: int) -> None:
-        cur = self._values.get(key, 0)
-        if epoch > cur:
-            self._values[key] = epoch
-        value = self._values[key]
+        # Monotone max; a stale/duplicate write (epoch <= current) must
+        # still initialise a never-seen key rather than KeyError on the
+        # read-back below.
+        value = max(self._values.get(key, 0), epoch)
+        self._values[key] = value
         waiters = self._waiters.get(key)
         if waiters:
             still = []
@@ -146,6 +147,31 @@ class ProxyEngine:
         #: Extension point: front-ends (e.g. the SHMEM layer) register
         #: extra inbox-item handlers here: kind -> generator(engine, payload).
         self.extra_handlers: dict[str, object] = {}
+
+        # -- resilience state (see docs/FAULTS.md) ----------------------
+        self.retry = framework.retry
+        self.fault_plan = ctx.cluster.fault_plan
+        #: True when any fault/retry machinery is armed; every recovery
+        #: branch is gated on this so clean runs stay bit-identical.
+        self.resilient = framework.resilient
+        #: Bumped on kill; items tagged with an older incarnation belong
+        #: to a previous life of this worker and are discarded.
+        self.incarnation = 0
+        self.alive = True
+        #: Process-local (dies with the worker): parked executors and
+        #: the req_ids of in-flight basic pairs.
+        self._parked: dict[Any, Event] = {}
+        self._live_reqs: set[int] = set()
+        #: DPU-DRAM durable records (survive kill/restart): FINs already
+        #: sent (req_id -> host rank, for idempotent resend), group
+        #: launches (req_id -> {seqs, incarnation, done}, for replay with
+        #: the original sequence numbers), and the last counter epoch
+        #: written per key (re-written when a peer probes for a loss).
+        self._fin_sent: dict[int, int] = {}
+        self._group_launches: dict[int, dict] = {}
+        self._counters_sent: dict[tuple, int] = {}
+
+        self.sim.watchdog_probes.append(self._watchdog_report)
         self.process = self.sim.process(self._main_loop())
         self.process.name = f"proxy{ctx.global_id}"
 
@@ -154,10 +180,21 @@ class ProxyEngine:
     # ------------------------------------------------------------------
     def _main_loop(self):
         while True:
-            item = yield self.ctx.inbox.get()
+            get_ev = self.ctx.inbox.get()
+            try:
+                item = yield get_ev
+            except Interrupt:
+                # Killed while parked on the inbox: withdraw the getter
+                # so the (surviving) inbox does not hand the next item to
+                # a dead process.
+                self.ctx.inbox.cancel(get_ev)
+                return
             if item[0] == "stop":
                 return
-            yield from self._dispatch(item)
+            try:
+                yield from self._dispatch(item)
+            except Interrupt:
+                return
 
     def _dispatch(self, item):
         kind = item[0]
@@ -168,25 +205,86 @@ class ProxyEngine:
             yield from self._on_rtr(item[1])
         elif kind == "xfer_done":
             yield from self._on_xfer_done(item[1])
+        elif kind == "retry_xfer":
+            yield from self._on_retry_xfer(item[1], item[2], item[3])
         elif kind == "group_plan":
             yield from self._on_group_plan(item[1])
         elif kind == "group_call":
             yield from self._on_group_call(item[1])
+        elif kind == "staged_read":
+            yield from self._on_staged_read(item[1], item[2], item[3])
         elif kind == "staged_write":
-            yield from self._on_staged_write(item[1])
+            yield from self._on_staged_write(item[1], item[2], item[3])
+        elif kind == "counter_probe":
+            yield from self._on_counter_probe(item[1])
         elif kind == "resume":
-            yield from self._drive_executor(item[1], item[2])
+            if item[3] == self.incarnation:
+                yield from self._drive_executor(item[1], item[2])
         elif kind in self.extra_handlers:
             yield from self.extra_handlers[kind](self, item[1])
         else:  # pragma: no cover - defensive
             raise OffloadError(f"proxy: unknown inbox item {kind!r}")
 
     # ------------------------------------------------------------------
+    # fault injection: kill / restart
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash this worker process (chaos testing).
+
+        Process-local state dies with it: the RTS/RTR matching queues,
+        in-flight pair tracking, parked executors.  What lives in DPU
+        DRAM survives for the next incarnation: the plan cache, counter
+        board, sequence counters, staging pool, and the durable
+        FIN/launch/counter records used for idempotent recovery.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.incarnation += 1
+        self._send_q.clear()
+        self._recv_q.clear()
+        self._live_reqs.clear()
+        self._parked.clear()
+        self.ctx.cluster.metrics.add("proxy.kills")
+        if self.process.is_alive:
+            self.process.interrupt("proxy killed")
+
+    def restart(self) -> None:
+        """Boot a fresh worker over the surviving DPU-DRAM state."""
+        if self.alive:
+            return
+        self.alive = True
+        self.ctx.cluster.metrics.add("proxy.restarts")
+        self.process = self.sim.process(self._main_loop())
+        self.process.name = f"proxy{self.ctx.global_id}.inc{self.incarnation}"
+
+    # ------------------------------------------------------------------
     # Basic primitives: RTS/RTR matching (Fig 8)
     # ------------------------------------------------------------------
+    def _dup_ctrl_handled(self, info: dict):
+        """Idempotent receive of a (possibly retransmitted) RTS/RTR.
+
+        Returns True when the message is a duplicate and has been fully
+        handled: already-finished requests get their FIN resent (the
+        original FIN may have been the loss that triggered the
+        retransmit); requests still queued or in flight are dropped.
+        Generator -- the FIN resend pays post overhead.
+        """
+        req_id = info["req_id"]
+        if req_id in self._fin_sent:
+            yield from self._resend_fin(req_id)
+            return True
+        if req_id in self._live_reqs:
+            self.ctx.cluster.metrics.add("proxy.dup_ctrl_dropped")
+            return True
+        self._live_reqs.add(req_id)
+        return False
+
     def _on_rts(self, info: dict) -> None:
         key = (info["src"], info["dst"], info["tag"])
         yield self.ctx.consume(self.params.dpu_match_cost)
+        if self.resilient and (yield from self._dup_ctrl_handled(info)):
+            return
         recvs = self._recv_q.get(key)
         if recvs:
             rtr = recvs.pop(0)
@@ -201,6 +299,8 @@ class ProxyEngine:
     def _on_rtr(self, info: dict) -> None:
         key = (info["src"], info["dst"], info["tag"])
         yield self.ctx.consume(self.params.dpu_match_cost)
+        if self.resilient and (yield from self._dup_ctrl_handled(info)):
+            return
         sends = self._send_q.get(key)
         if sends:
             rts = sends.pop(0)
@@ -225,6 +325,10 @@ class ProxyEngine:
             )
         self.ctx.cluster.metrics.add("proxy.basic_pairs")
         pair = {"rts": rts, "rtr": rtr}
+        yield from self._post_pair_transfer(pair, attempt=1)
+
+    def _post_pair_transfer(self, pair: dict, attempt: int) -> None:
+        rts, rtr = pair["rts"], pair["rtr"]
         if self.mode == "staged":
             done = yield from self.staged_send_start(
                 src_rkey=rts["rkey"], src_addr=rts["addr"], size=rts["size"],
@@ -244,12 +348,32 @@ class ProxyEngine:
                 size=rts["size"],
             )
             done = transfer.completed
+        inc = self.incarnation
 
         def _watch():
-            yield done
-            self.ctx.inbox.put(("xfer_done", pair))
+            dv = yield done
+            # Error CQE (fault injection): back off, then re-post through
+            # the inbox so the retry stays ARM-serialized.  The staged
+            # path retries its legs itself and completes with status ok.
+            if self.resilient and getattr(dv, "status", "ok") == "error":
+                yield self.sim.timeout(self.retry.rdma_backoff * attempt)
+                self.ctx.inbox.put(("retry_xfer", pair, attempt + 1, inc))
+            else:
+                self.ctx.inbox.put(("xfer_done", pair))
 
         self.sim.process(_watch())
+
+    def _on_retry_xfer(self, pair: dict, attempt: int, inc: int) -> None:
+        if inc != self.incarnation:
+            return  # a previous life's transfer; the retransmit redoes it
+        if attempt > self.retry.rdma_retry_limit:
+            raise OffloadError(
+                f"basic pair src={pair['rts']['src']} dst={pair['rtr']['dst']} "
+                f"tag={pair['rts']['tag']} exceeded "
+                f"{self.retry.rdma_retry_limit} RDMA re-posts"
+            )
+        self.ctx.cluster.metrics.add("proxy.rdma_retries")
+        yield from self._post_pair_transfer(pair, attempt)
 
     # ------------------------------------------------------------------
     # staged transfers (Fig 6's bounce path; used by BluesMPI-style mode)
@@ -266,46 +390,90 @@ class ProxyEngine:
         done = Event(self.sim)
         buf = yield from self.staging.acquire(size)
         self.ctx.cluster.metrics.add("staging.transfers")
-        read = yield from rdma_read(
-            self.ctx,
-            lkey=buf.lkey,
-            local_addr=buf.addr,
-            rkey=src_rkey,
-            remote_addr=src_addr,
-            size=size,
-        )
-
-        def _after_read():
-            yield read.completed
-            self.ctx.inbox.put(("staged_write", (buf, size, dst_rkey, dst_addr, done)))
-
-        self.sim.process(_after_read())
+        st = {
+            "buf": buf, "size": size,
+            "src_rkey": src_rkey, "src_addr": src_addr,
+            "dst_rkey": dst_rkey, "dst_addr": dst_addr,
+            "done": done,
+        }
+        yield from self._post_staged_read(st, attempt=1)
         return done
 
-    def _on_staged_write(self, args) -> None:
-        buf, size, dst_rkey, dst_addr, done = args
+    def _post_staged_read(self, st: dict, attempt: int) -> None:
+        read = yield from rdma_read(
+            self.ctx,
+            lkey=st["buf"].lkey,
+            local_addr=st["buf"].addr,
+            rkey=st["src_rkey"],
+            remote_addr=st["src_addr"],
+            size=st["size"],
+        )
+        inc = self.incarnation
+
+        def _after_read():
+            dv = yield read.completed
+            if self.resilient and dv.status == "error":
+                yield self.sim.timeout(self.retry.rdma_backoff * attempt)
+                self.ctx.inbox.put(("staged_read", st, attempt + 1, inc))
+            else:
+                self.ctx.inbox.put(("staged_write", st, 1, inc))
+
+        self.sim.process(_after_read())
+
+    def _release_stale(self, st: dict) -> None:
+        """Return a dead incarnation's bounce buffer to the pool (once)."""
+        if not st.get("released"):
+            st["released"] = True
+            self.staging.release(st["buf"])
+
+    def _on_staged_read(self, st: dict, attempt: int, inc: int) -> None:
+        if inc != self.incarnation:
+            self._release_stale(st)
+            return
+        if attempt > self.retry.rdma_retry_limit:
+            raise OffloadError("staged RDMA read exceeded the re-post limit")
+        self.ctx.cluster.metrics.add("proxy.rdma_retries")
+        yield from self._post_staged_read(st, attempt)
+
+    def _on_staged_write(self, st: dict, attempt: int, inc: int) -> None:
+        if inc != self.incarnation:
+            self._release_stale(st)
+            return
+        if attempt > 1:
+            # Only resilient runs ever enqueue a re-post (attempt > 1).
+            if attempt > self.retry.rdma_retry_limit:
+                raise OffloadError("staged RDMA write exceeded the re-post limit")
+            self.ctx.cluster.metrics.add("proxy.rdma_retries")
         write = yield from rdma_write(
             self.ctx,
-            lkey=buf.lkey,
-            src_addr=buf.addr,
-            rkey=dst_rkey,
-            dst_addr=dst_addr,
-            size=size,
+            lkey=st["buf"].lkey,
+            src_addr=st["buf"].addr,
+            rkey=st["dst_rkey"],
+            dst_addr=st["dst_addr"],
+            size=st["size"],
         )
 
         def _after_write():
-            yield write.completed
-            self.staging.release(buf)
-            done.succeed(None)
+            dv = yield write.completed
+            if self.resilient and dv.status == "error":
+                yield self.sim.timeout(self.retry.rdma_backoff * attempt)
+                self.ctx.inbox.put(("staged_write", st, attempt + 1, inc))
+                return
+            self.staging.release(st["buf"])
+            st["done"].succeed(None)
 
         self.sim.process(_after_write())
 
     def _on_xfer_done(self, pair: dict) -> None:
         """Data landed: send FIN completion writes to both host processes."""
         fw = self.framework
-        for side, req_key in (("rts", "src_req"), ("rtr", "dst_req")):
+        for side in ("rts", "rtr"):
             info = pair[side]
             host_rank = info["src"] if side == "rts" else info["dst"]
+            req_id = info["req_id"]
+            if self.resilient:
+                self._live_reqs.discard(req_id)
+                self._fin_sent[req_id] = host_rank
             ep = fw.endpoint(host_rank)
             yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
             self.ctx.cluster.metrics.add("proxy.fin_writes")
@@ -314,10 +482,28 @@ class ProxyEngine:
                 dst_node=ep.ctx.node_id,
                 initiator="dpu",
                 inbox=ep.completion_sink,
-                msg=info["req_id"],
+                msg=req_id,
                 src_mem="dpu",
                 dst_mem="host",
+                kind="fin",
             )
+
+    def _resend_fin(self, req_id: int) -> None:
+        """A duplicate RTS/RTR for a finished request: the FIN was lost."""
+        host_rank = self._fin_sent[req_id]
+        ep = self.framework.endpoint(host_rank)
+        yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+        self.ctx.cluster.metrics.add("proxy.fin_resends")
+        self.ctx.cluster.fabric.control(
+            src_node=self.ctx.node_id,
+            dst_node=ep.ctx.node_id,
+            initiator="dpu",
+            inbox=ep.completion_sink,
+            msg=req_id,
+            src_mem="dpu",
+            dst_mem="host",
+            kind="fin",
+        )
 
     # ------------------------------------------------------------------
     # Group primitives (Figs 9-10, Algorithm 1)
@@ -341,6 +527,26 @@ class ProxyEngine:
         """Request-ID-only invocation (host cache hit, Section VII-D)."""
         plan = self.plan_cache.fetch(packet["plan_id"])
         if plan is None:
+            if self.resilient:
+                # The plan never made it here (a dropped group_plan, or a
+                # group_call racing ahead of it): NACK so the host marks
+                # its cached copy stale and re-ships the full plan on the
+                # next retransmit.
+                self.ctx.cluster.metrics.add("proxy.plan_nacks")
+                ep = self.framework.endpoint(packet["host_rank"])
+                yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+                self.ctx.cluster.fabric.control(
+                    src_node=self.ctx.node_id,
+                    dst_node=ep.ctx.node_id,
+                    initiator="dpu",
+                    inbox=ep.inbox,
+                    msg=("plan_nack", {"plan_id": packet["plan_id"],
+                                       "req_id": packet["req_id"]}),
+                    src_mem="dpu",
+                    dst_mem="host",
+                    kind="plan_nack",
+                )
+                return
             raise OffloadError(
                 f"group_call for unknown plan {packet['plan_id']} "
                 f"(host cache believed the proxy had it)"
@@ -351,25 +557,75 @@ class ProxyEngine:
         from repro.offload.group_exec import GroupExecutor
 
         host_rank = plan["host_rank"]
-        seqs: dict[tuple[int, int], int] = {}
-        for entry in plan["entries"]:
-            if entry["kind"] == "send":
-                pair = (host_rank, entry["dst"])
-                if pair not in seqs:
-                    self._seq_out[pair] = self._seq_out.get(pair, 0) + 1
-                    seqs[pair] = self._seq_out[pair]
-            elif entry["kind"] == "recv":
-                pair = (entry["src"], host_rank)
-                if pair not in seqs:
-                    self._seq_in[pair] = self._seq_in.get(pair, 0) + 1
-                    seqs[pair] = self._seq_in[pair]
+        rec = self._group_launches.get(req_id) if self.resilient else None
+        if rec is not None:
+            if rec["done"]:
+                # Finished in an earlier life/attempt: the completion
+                # write must have been lost -- resend it idempotently.
+                yield from self._send_group_completion(host_rank, req_id)
+                return
+            if rec["incarnation"] == self.incarnation:
+                # Duplicate invocation while the executor still runs.
+                self.ctx.cluster.metrics.add("proxy.dup_ctrl_dropped")
+                return
+            # Killed mid-run: replay with the ORIGINAL per-pair sequence
+            # numbers so peer proxies' (src, dst, seq) counter keys still
+            # line up with what they already wrote or await.
+            rec["incarnation"] = self.incarnation
+            seqs = dict(rec["seqs"])
+            self.ctx.cluster.metrics.add("proxy.group_replays")
+        else:
+            seqs = {}
+            for entry in plan["entries"]:
+                if entry["kind"] == "send":
+                    pair = (host_rank, entry["dst"])
+                    if pair not in seqs:
+                        self._seq_out[pair] = self._seq_out.get(pair, 0) + 1
+                        seqs[pair] = self._seq_out[pair]
+                elif entry["kind"] == "recv":
+                    pair = (entry["src"], host_rank)
+                    if pair not in seqs:
+                        self._seq_in[pair] = self._seq_in.get(pair, 0) + 1
+                        seqs[pair] = self._seq_in[pair]
+            if self.resilient:
+                self._group_launches[req_id] = {
+                    "seqs": dict(seqs),
+                    "incarnation": self.incarnation,
+                    "done": False,
+                }
         executor = GroupExecutor(self, plan, req_id, seqs, cached=cached)
         self.ctx.cluster.metrics.add("proxy.group_plans_cached" if cached else "proxy.group_plans_full")
         yield from self._drive_executor(executor, None)
 
+    def finish_group(self, host_rank: int, req_id: int):
+        """Executor epilogue: durably mark done, then write completion."""
+        if self.resilient:
+            rec = self._group_launches.get(req_id)
+            if rec is not None:
+                rec["done"] = True
+        yield from self._send_group_completion(host_rank, req_id)
+
+    def _send_group_completion(self, host_rank: int, req_id: int):
+        """Completion-counter RDMA write into host memory (Group_Wait)."""
+        ep = self.framework.endpoint(host_rank)
+        yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+        self.ctx.cluster.metrics.add("proxy.group_completions")
+        self.ctx.cluster.fabric.control(
+            src_node=self.ctx.node_id,
+            dst_node=ep.ctx.node_id,
+            initiator="dpu",
+            inbox=ep.completion_sink,
+            msg=req_id,
+            size=8,
+            src_mem="dpu",
+            dst_mem="host",
+            kind="fin",
+        )
+
     def _drive_executor(self, executor, send_value) -> None:
         """Advance an executor until it finishes or parks (Alg 1's 'break')."""
         gen = executor.gen
+        self._parked.pop(executor, None)
         while True:
             try:
                 yielded = gen.send(send_value)
@@ -377,14 +633,16 @@ class ProxyEngine:
                 return
             if isinstance(yielded, tuple) and yielded and yielded[0] is PARK:
                 event = yielded[1]
+                inc = self.incarnation
 
-                def _rearm(ev, executor=executor):
-                    self.ctx.inbox.put(("resume", executor, ev.value))
+                def _rearm(ev, executor=executor, inc=inc):
+                    self.ctx.inbox.put(("resume", executor, ev.value, inc))
 
+                self._parked[executor] = event
                 if event.processed:
                     # Already satisfied: requeue immediately (still goes
                     # through the inbox so other work interleaves).
-                    self.ctx.inbox.put(("resume", executor, event.value))
+                    self.ctx.inbox.put(("resume", executor, event.value, inc))
                 else:
                     event.callbacks.append(_rearm)
                 return
@@ -398,6 +656,10 @@ class ProxyEngine:
         """RDMA-write a barrier counter to ``dst_rank``'s proxy (a generator)."""
         peer = self.ctx.cluster.proxy_for_rank(dst_rank)
         peer_engine = self.framework.proxy_engine(peer)
+        if self.resilient:
+            # Durable record: a peer probing for a lost write gets this
+            # epoch re-written (see _on_counter_probe).
+            self._counters_sent[key] = max(self._counters_sent.get(key, 0), epoch)
         yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
         self.ctx.cluster.metrics.add("proxy.counter_writes")
         self.ctx.cluster.fabric.control(
@@ -409,7 +671,52 @@ class ProxyEngine:
             size=8,
             src_mem="dpu",
             dst_mem="dpu",
+            kind="counter",
         )
+
+    def arm_counter_probe(self, key: tuple, ev: Event,
+                          writer_rank: int, my_rank: int) -> None:
+        """Chase a possibly-lost counter write while ``ev`` is unfired.
+
+        Spawns a prober that, with backoff, asks the proxy serving
+        ``writer_rank`` to re-write counter ``key`` toward ``my_rank``'s
+        proxy (this engine).  No-op on clean runs.
+        """
+        if not self.resilient or self.fault_plan is None or ev.triggered:
+            return
+        peer = self.ctx.cluster.proxy_for_rank(writer_rank)
+        inc = self.incarnation
+
+        def _prober():
+            delay = self.retry.counter_probe_after
+            while True:
+                yield self.sim.timeout(delay)
+                if ev.triggered or self.incarnation != inc or not self.alive:
+                    return
+                self.ctx.cluster.metrics.add("proxy.counter_probes")
+                self.ctx.cluster.fabric.control(
+                    src_node=self.ctx.node_id,
+                    dst_node=peer.node_id,
+                    initiator="dpu",
+                    inbox=peer.inbox,
+                    msg=("counter_probe", {"key": key, "rank": my_rank}),
+                    size=16,
+                    src_mem="dpu",
+                    dst_mem="dpu",
+                    kind="counter_probe",
+                )
+                delay = min(delay * self.retry.backoff, 4 * self.retry.max_timeout)
+
+        self.sim.process(_prober())
+
+    def _on_counter_probe(self, info: dict) -> None:
+        """A peer suspects it lost one of my counter writes: re-write it."""
+        key = info["key"]
+        epoch = self._counters_sent.get(key)
+        if epoch is None:
+            return  # not written yet; the peer will probe again
+        self.ctx.cluster.metrics.add("proxy.counter_rewrites")
+        yield from self.write_counter_to(info["rank"], key, epoch)
 
     # -- diagnostics --------------------------------------------------------
     @property
@@ -419,3 +726,25 @@ class ProxyEngine:
     @property
     def queued_rtr(self) -> int:
         return sum(len(v) for v in self._recv_q.values())
+
+    def _watchdog_report(self):
+        """Lines for :class:`repro.sim.DeadlockError` when the sim hangs."""
+        gid = self.ctx.global_id
+        if not self.alive:
+            yield f"proxy{gid}: DEAD (killed, never restarted)"
+        for executor, event in self._parked.items():
+            yield (
+                f"proxy{gid}: group req={executor.req_id} "
+                f"host={executor.plan['host_rank']} parked on {event!r}"
+            )
+        for key, ops in self._send_q.items():
+            yield f"proxy{gid}: {len(ops)} unmatched RTS for (src, dst, tag)={key}"
+        for key, ops in self._recv_q.items():
+            yield f"proxy{gid}: {len(ops)} unmatched RTR for (src, dst, tag)={key}"
+        for key, waiters in self.counters._waiters.items():
+            wants = sorted(want for want, _ev in waiters)
+            have = self.counters._values.get(key, 0)
+            yield (
+                f"proxy{gid}: counter {key} stuck at {have}, "
+                f"waited for epoch(s) {wants}"
+            )

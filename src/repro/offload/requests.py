@@ -30,6 +30,12 @@ class OffloadRequest:
     complete_time: Optional[float] = None
     #: Triggered (by the proxy's completion write) when complete.
     event: Any = None
+    #: Retransmit payload saved by the endpoint when resilience is on:
+    #: ``(proxy_ctx, ("rts"|"rtr", info))``.
+    resend: Any = None
+    #: True once this request left the offload path (liveness deadline
+    #: missed) and is being completed host-to-host instead.
+    fallback: bool = False
 
     def __hash__(self) -> int:
         return self.req_id
@@ -71,6 +77,9 @@ class OffloadGroupRequest:
     event: Any = None
     #: Times Group_Offload_call has been issued on this request.
     calls: int = 0
+    #: The HostPlan behind the in-flight call (saved when resilience is
+    #: on, so Group_Wait can retransmit the call or re-ship the plan).
+    resend_plan: Any = None
 
     def record(self, op: GroupOp) -> None:
         if self.state != "recording":

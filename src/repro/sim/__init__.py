@@ -15,6 +15,7 @@ produces the identical event trace.
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    DeadlockError,
     Event,
     Interrupt,
     SimulationError,
@@ -28,6 +29,7 @@ from repro.sim.rng import RngRegistry
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeadlockError",
     "Event",
     "Interrupt",
     "PriorityStore",

@@ -25,11 +25,30 @@ __all__ = [
     "Interrupt",
     "Simulator",
     "SimulationError",
+    "DeadlockError",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (double trigger, etc.)."""
+
+
+class DeadlockError(SimulationError):
+    """The event heap ran dry while the simulation still had waiters.
+
+    Raised by :meth:`Simulator.run` when an ``until`` event can never
+    fire.  ``reports`` holds one human-readable line per outstanding
+    wait, gathered from the registered :attr:`Simulator.watchdog_probes`
+    (parked proxy executors, unmatched counter keys, pending offload or
+    MPI requests), so a hang names its culprits instead of spinning
+    forever.
+    """
+
+    def __init__(self, message: str, reports: Optional[list[str]] = None):
+        self.reports = list(reports or [])
+        if self.reports:
+            message = message + "\n  outstanding waits:\n    " + "\n    ".join(self.reports)
+        super().__init__(message)
 
 
 class Interrupt(Exception):
@@ -230,6 +249,19 @@ class Simulator:
         self._seq = itertools.count()
         #: Number of events processed so far (diagnostics/determinism tests).
         self.processed_events: int = 0
+        #: Deadlock diagnostics: callables returning lines describing
+        #: outstanding waits.  Consulted only when a ``run(until=event)``
+        #: goes dry, so registering probes costs nothing in the hot path.
+        self.watchdog_probes: list[Callable[[], Iterable[str]]] = []
+
+    def _deadlock_reports(self) -> list[str]:
+        reports: list[str] = []
+        for probe in self.watchdog_probes:
+            try:
+                reports.extend(probe())
+            except Exception as exc:  # pragma: no cover - diagnostics must not mask
+                reports.append(f"<probe {probe!r} failed: {exc!r}>")
+        return reports
 
     # -- clock ---------------------------------------------------------
     @property
@@ -298,7 +330,10 @@ class Simulator:
             while self._heap and not stop:
                 self.step()
             if not stop:
-                raise SimulationError("simulation ran dry before `until` event fired")
+                raise DeadlockError(
+                    "simulation ran dry before `until` event fired",
+                    self._deadlock_reports(),
+                )
             if not sentinel._ok:
                 raise sentinel._value
             return sentinel._value

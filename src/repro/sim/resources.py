@@ -115,6 +115,19 @@ class Store:
         self._dispatch()
         return ev
 
+    def cancel(self, get_event: Event) -> bool:
+        """Withdraw a pending :meth:`get` whose event has not fired.
+
+        Needed by consumers that race a get against a timeout: leaving a
+        stale getter registered would silently swallow the next item.
+        Returns True if the getter was found and removed.
+        """
+        for i, (ev, _filt) in enumerate(self._getters):
+            if ev is get_event:
+                del self._getters[i]
+                return True
+        return False
+
     def try_get(self, filt: Optional[Callable[[Any], bool]] = None) -> tuple[bool, Any]:
         """Non-blocking pop. Returns ``(True, item)`` or ``(False, None)``."""
         for i, item in enumerate(self._items):

@@ -22,7 +22,6 @@ host-side registration raises :class:`GvmiError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.hw.memory import pages_spanned
 from repro.hw.node import ProcessContext

@@ -10,7 +10,7 @@ would on hardware.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hw.memory import pages_spanned

@@ -173,6 +173,7 @@ def post_control(
     msg,
     size: int | None = None,
     inbox=None,
+    kind: str = "ctrl",
 ):
     """Send a small control message into ``target``'s inbox.
 
@@ -181,7 +182,8 @@ def post_control(
     endpoints) pass it explicitly.  Use as
     ``delivered = yield from post_control(...)``; the returned event
     fires at delivery (often ignored by the sender -- RTS/RTR/FIN are
-    fire-and-forget).
+    fire-and-forget, and a fault-injected drop means it may never fire).
+    ``kind`` names the protocol message for fault-plan targeting.
     """
     cluster = initiator.cluster
     yield initiator.consume(initiator.hca.post_overhead(initiator.kind))
@@ -195,4 +197,5 @@ def post_control(
         size=size,
         src_mem=initiator.mem_kind,
         dst_mem=target.mem_kind,
+        kind=kind,
     )

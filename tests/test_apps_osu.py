@@ -1,6 +1,5 @@
 """Tests for the extended OSU-style suite."""
 
-import pytest
 
 from repro.apps.osu_suite import osu_bw, osu_iallgather, osu_ibcast, osu_latency
 from repro.hw import ClusterSpec

@@ -1,6 +1,5 @@
 """Integration tests for the three CommBackend implementations."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern

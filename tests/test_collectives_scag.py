@@ -1,6 +1,5 @@
 """Focused tests for the scatter-allgather broadcast (large-message path)."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern

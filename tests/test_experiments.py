@@ -125,3 +125,40 @@ class TestCheapFigures:
         from repro.experiments import fig01_timeline
 
         assert fig01_timeline.run().all_passed
+
+
+class TestRunallRobustness:
+    """A crash in one figure must not abort the batch (satellite of the
+    chaos-fabric work: the experiment driver degrades gracefully too)."""
+
+    def test_crash_reported_but_batch_continues(self, monkeypatch, capsys):
+        from repro.experiments import runall
+
+        monkeypatch.setattr(
+            runall, "ALL_FIGURES", ["fig99_missing", "fig05_registration"])
+        rc = runall.main([])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "fig99_missing: CRASHED" in captured.err
+        assert "1/2 figure(s) failed" in captured.out
+        assert "fig99_missing: crash" in captured.out
+        # the healthy figure after the crash still rendered its table
+        assert "fig05" in captured.out
+
+    def test_all_good_batch_exits_zero(self, capsys):
+        from repro.experiments import runall
+
+        assert runall.main(["fig05"]) == 0
+        assert "all shape checks passed" in capsys.readouterr().out
+
+    def test_run_figures_still_raises_for_library_use(self, monkeypatch):
+        from repro.experiments import runall
+
+        with pytest.raises(ModuleNotFoundError):
+            runall.run_figures(["fig99_missing"])
+
+    def test_unknown_selector_exits_two(self, capsys):
+        from repro.experiments import runall
+
+        assert runall.main(["nope"]) == 2
+        assert "no figures match" in capsys.readouterr().out

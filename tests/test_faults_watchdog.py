@@ -1,0 +1,127 @@
+"""Simulator hang watchdog: structured DeadlockError diagnostics.
+
+A simulation that runs dry with work outstanding must not die with a
+bare "ran dry" -- the DeadlockError names every parked executor,
+unmatched control message, and pending request so a protocol deadlock
+is debuggable from the exception alone.
+"""
+
+import pytest
+
+from tests.helpers import pattern
+from repro.offload import OffloadFramework
+from repro.sim import DeadlockError, SimulationError, Simulator
+
+
+class TestDeadlockErrorShape:
+    def test_subclass_of_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_reports_embedded_in_message(self):
+        err = DeadlockError("simulation ran dry before `until` event fired",
+                            ["rank 0: stuck", "proxy 1: parked"])
+        assert err.reports == ["rank 0: stuck", "proxy 1: parked"]
+        assert "outstanding waits:" in str(err)
+        assert "rank 0: stuck" in str(err) and "proxy 1: parked" in str(err)
+
+    def test_no_reports_keeps_plain_message(self):
+        err = DeadlockError("simulation ran dry before `until` event fired")
+        assert "outstanding waits" not in str(err)
+
+    def test_plain_dry_run_still_raises(self):
+        """A no-waiter dry run raises the same (catchable) family."""
+        sim = Simulator()
+        ev = sim.event()  # never succeeds
+        with pytest.raises(SimulationError, match="ran dry"):
+            sim.run(until=ev)
+
+    def test_probe_exceptions_do_not_mask_the_deadlock(self):
+        sim = Simulator()
+
+        def bad_probe():
+            raise RuntimeError("broken probe")
+
+        sim.watchdog_probes.append(bad_probe)
+        with pytest.raises(DeadlockError):
+            sim.run(until=sim.event())
+
+
+class TestOffloadDeadlockReports:
+    def test_unmatched_recv_names_rank_and_proxy_queue(self, tiny_cluster):
+        """A receive with no matching send: both layers report it."""
+        fw = OffloadFramework(tiny_cluster)
+
+        def receiver(sim):
+            ep = fw.endpoint(1)
+            addr = ep.ctx.space.alloc(1024)
+            req = yield from ep.recv_offload(addr, 1024, src=0, tag=3)
+            yield from ep.wait(req)
+
+        proc = tiny_cluster.sim.process(receiver(tiny_cluster.sim))
+        with pytest.raises(DeadlockError) as ei:
+            tiny_cluster.sim.run(until=proc)
+        msg = str(ei.value)
+        assert "ran dry" in msg
+        assert "rank 1: offload request" in msg
+        assert "unmatched RTR" in msg
+
+    def test_parked_group_executor_names_counter_key(self, tiny_cluster):
+        """A group recv whose sender never calls: the executor parks on a
+        counter that never arrives, and the report says which one."""
+        fw = OffloadFramework(tiny_cluster)
+
+        def caller(sim):
+            ep = fw.endpoint(0)
+            rbuf = ep.ctx.space.alloc(4096)
+            greq = ep.group_start()
+            ep.group_recv(greq, rbuf, 4096, src=1, tag=2)
+            ep.group_end(greq)
+            yield from ep.group_call(greq)
+            yield from ep.group_wait(greq)
+
+        proc = tiny_cluster.sim.process(caller(tiny_cluster.sim))
+        with pytest.raises(DeadlockError) as ei:
+            tiny_cluster.sim.run(until=proc)
+        msg = str(ei.value)
+        assert "parked" in msg          # the executor is named...
+        assert "counter" in msg         # ...and the counter it waits on
+        assert "rank 0: offload request" in msg
+
+    def test_quiescent_completion_raises_nothing(self, tiny_cluster):
+        """Sanity: a matched exchange never trips the watchdog."""
+        fw = OffloadFramework(tiny_cluster)
+        data = pattern(512, seed=4)
+
+        def sender(sim):
+            ep = fw.endpoint(0)
+            sa = ep.ctx.space.alloc_like(data)
+            req = yield from ep.send_offload(sa, 512, dst=1, tag=1)
+            yield from ep.wait(req)
+
+        def receiver(sim):
+            ep = fw.endpoint(1)
+            ra = ep.ctx.space.alloc(512)
+            req = yield from ep.recv_offload(ra, 512, src=0, tag=1)
+            yield from ep.wait(req)
+
+        procs = [tiny_cluster.sim.process(g(tiny_cluster.sim))
+                 for g in (sender, receiver)]
+        tiny_cluster.sim.run(until=tiny_cluster.sim.all_of(procs))
+        fw.assert_quiescent()
+
+
+class TestMpiDeadlockReports:
+    def test_unmatched_mpi_recv_reported(self, world):
+        def program(rt):
+            if rt.rank == 0:
+                addr = rt.ctx.space.alloc(256)
+                req = yield from rt.irecv(rt.world.comm_world, 1, addr, 256,
+                                          tag=5)
+                yield from rt.wait(req)
+            return rt.sim.now
+
+        with pytest.raises(DeadlockError) as ei:
+            world.run(program)
+        msg = str(ei.value)
+        assert "mpi rank 0" in msg
+        assert "posted receive(s) unmatched" in msg

@@ -1,6 +1,5 @@
 """Odds and ends: presets, CLI, experiment sweep configs."""
 
-import pytest
 
 from repro.__main__ import main as cli_main
 from repro.experiments import appruns

@@ -123,7 +123,6 @@ class TestBcast:
 class TestBarrier:
     def test_nobody_leaves_before_last_arrives(self, any_world):
         world = any_world
-        P = world.size
         arrive, leave = {}, {}
 
         def program(rt):

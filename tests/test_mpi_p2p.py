@@ -1,6 +1,5 @@
 """Integration tests for point-to-point protocols: eager, rendezvous, shm."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern

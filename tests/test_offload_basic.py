@@ -1,6 +1,5 @@
 """Integration tests for Basic primitives (Send_Offload / Recv_Offload)."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern, run_procs

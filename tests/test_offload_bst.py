@@ -1,6 +1,5 @@
 """Unit + property tests for the AVL tree backing the GVMI caches."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

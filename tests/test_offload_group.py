@@ -1,6 +1,5 @@
 """Integration tests for Group primitives: recording, execution, caching."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern, run_procs

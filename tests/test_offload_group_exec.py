@@ -1,7 +1,5 @@
 """Deep tests of group-pattern execution semantics (Fig 10 / Algorithm 1)."""
 
-import numpy as np
-import pytest
 
 from tests.helpers import pattern, run_procs
 from repro.hw import Cluster, ClusterSpec

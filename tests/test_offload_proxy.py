@@ -80,6 +80,16 @@ class TestCounterBoard:
         assert sorted(woke) == [(1, 1.0), (3, 2.0)]
         assert board.pending_waits == 0
 
+    def test_stale_write_to_unseen_key_initialises(self):
+        """Regression: a non-advancing write (epoch 0 -- e.g. a replayed
+        duplicate) to a never-seen key used to KeyError on read-back."""
+        sim = Simulator()
+        board = CounterBoard(sim)
+        board.write(("fresh",), 0)  # must not raise
+        assert not board.wait(("fresh",), 1).triggered
+        board.write(("fresh",), 1)
+        assert board.wait(("fresh",), 1).triggered
+
 
 class TestParkProtocol:
     def test_parked_executor_does_not_block_other_work(self):

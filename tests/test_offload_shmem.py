@@ -5,7 +5,6 @@ proxies, caches and cross-GVMI machinery serve a PGAS API with no
 MPI-style matching at all.
 """
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern, run_procs

@@ -4,8 +4,6 @@ import pytest
 
 from repro.sim import (
     AllOf,
-    AnyOf,
-    Event,
     SimulationError,
     Simulator,
     Timeout,

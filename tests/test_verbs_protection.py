@@ -1,0 +1,171 @@
+"""Parametrized protection-fault tests: every illegal key combination.
+
+The paper's security story (Section V) leans on the HCA refusing
+cross-process / cross-GVMI key misuse; these tests pin each refusal so
+a refactor of the key checks cannot silently relax one.
+"""
+
+import pytest
+
+from tests.helpers import run_proc
+from repro.verbs import (
+    ProtectionError,
+    cross_register,
+    dereg_mr,
+    gvmi_id_of,
+    host_gvmi_register,
+    rdma_read,
+    rdma_write,
+    reg_mr,
+)
+
+SIZE = 256
+
+
+def _setup(cluster):
+    """Register every key species once; returns the menagerie."""
+    src = cluster.rank_ctx(0)
+    dst = cluster.rank_ctx(1)
+    proxy = cluster.proxy_for_rank(0)
+    box = {"src": src, "dst": dst, "proxy": proxy}
+
+    def prog(sim):
+        box["sa"] = src.space.alloc(SIZE)
+        box["da"] = dst.space.alloc(SIZE)
+        box["hs"] = yield from reg_mr(src, box["sa"], SIZE)
+        box["hd"] = yield from reg_mr(dst, box["da"], SIZE)
+        gid = gvmi_id_of(proxy)
+        box["mkey"] = yield from host_gvmi_register(src, box["sa"], SIZE, gid)
+        box["mk2"] = yield from cross_register(proxy, box["sa"], SIZE, gid,
+                                               box["mkey"].key)
+
+    run_proc(cluster, prog(cluster.sim))
+    return box
+
+
+#: (case id, initiator, local-key pick, remote-key pick, error pattern)
+WRITE_CASES = [
+    ("rkey-in-lkey-slot", "src", lambda b: b["hs"].rkey,
+     lambda b: b["hd"].rkey, "needs an lkey or mkey2"),
+    ("mkey-in-lkey-slot", "src", lambda b: b["mkey"].key,
+     lambda b: b["hd"].rkey, "needs an lkey or mkey2"),
+    ("foreign-lkey", "dst", lambda b: b["hs"].lkey,
+     lambda b: b["hd"].rkey, "cannot use it"),
+    ("mkey2-used-by-host", "src", lambda b: b["mk2"].key,
+     lambda b: b["hd"].rkey, "not usable"),
+    ("lkey-in-rkey-slot", "src", lambda b: b["hs"].lkey,
+     lambda b: b["hd"].lkey, "needs an rkey"),
+    ("mkey2-in-rkey-slot", "proxy", lambda b: b["mk2"].key,
+     lambda b: b["mk2"].key, "needs an rkey"),
+    ("stale-lkey", "src", lambda b: 0xDEAD,
+     lambda b: b["hd"].rkey, "not registered"),
+    ("stale-rkey", "src", lambda b: b["hs"].lkey,
+     lambda b: 0xBEEF, "not registered"),
+]
+
+
+class TestWriteKeyCombos:
+    @pytest.mark.parametrize(
+        "who,pick_l,pick_r,match",
+        [case[1:] for case in WRITE_CASES],
+        ids=[case[0] for case in WRITE_CASES],
+    )
+    def test_illegal_combo_faults(self, tiny_cluster, who, pick_l, pick_r, match):
+        box = _setup(tiny_cluster)
+
+        def prog(sim):
+            yield from rdma_write(
+                box[who], lkey=pick_l(box), src_addr=box["sa"],
+                rkey=pick_r(box), dst_addr=box["da"], size=SIZE)
+
+        with pytest.raises(ProtectionError, match=match):
+            run_proc(tiny_cluster, prog(tiny_cluster.sim))
+
+    @pytest.mark.parametrize("which", ["local", "remote"], ids=["lkey", "rkey"])
+    def test_range_overflow_faults(self, tiny_cluster, which):
+        box = _setup(tiny_cluster)
+
+        def prog(sim):
+            off = 1 if which == "local" else 0
+            yield from rdma_write(
+                box["src"], lkey=box["hs"].lkey, src_addr=box["sa"] + off,
+                rkey=box["hd"].rkey,
+                dst_addr=box["da"] + (1 - off), size=SIZE)
+
+        with pytest.raises(ProtectionError, match="covers"):
+            run_proc(tiny_cluster, prog(tiny_cluster.sim))
+
+    def test_revoked_key_faults(self, tiny_cluster):
+        box = _setup(tiny_cluster)
+
+        def prog(sim):
+            dereg_mr(box["src"], box["hs"])
+            yield from rdma_write(
+                box["src"], lkey=box["hs"].lkey, src_addr=box["sa"],
+                rkey=box["hd"].rkey, dst_addr=box["da"], size=SIZE)
+
+        with pytest.raises(ProtectionError, match="not registered"):
+            run_proc(tiny_cluster, prog(tiny_cluster.sim))
+
+
+class TestReadKeyCombos:
+    @pytest.mark.parametrize("case", [
+        ("rkey-in-lkey-slot", "needs an lkey or mkey2"),
+        ("lkey-in-rkey-slot", "needs an rkey"),
+        ("foreign-lkey", "cannot use it"),
+    ], ids=lambda c: c[0] if isinstance(c, tuple) else c)
+    def test_illegal_combo_faults(self, tiny_cluster, case):
+        name, match = case
+        box = _setup(tiny_cluster)
+
+        def prog(sim):
+            if name == "rkey-in-lkey-slot":
+                who, lk, rk = "dst", box["hd"].rkey, box["hs"].rkey
+            elif name == "lkey-in-rkey-slot":
+                who, lk, rk = "dst", box["hd"].lkey, box["hs"].lkey
+            else:  # foreign-lkey
+                who, lk, rk = "src", box["hd"].lkey, box["hs"].rkey
+            yield from rdma_read(
+                box[who], lkey=lk, local_addr=box["da" if who == "dst" else "sa"],
+                rkey=rk, remote_addr=box["sa" if who == "dst" else "da"],
+                size=SIZE)
+
+        with pytest.raises(ProtectionError, match=match):
+            run_proc(tiny_cluster, prog(tiny_cluster.sim))
+
+
+class TestMkey2Scope:
+    def test_wrong_gvmi_proxy_cannot_use_mkey2(self, small_cluster):
+        """The cross-registered key is scoped to one proxy's GVMI."""
+        src = small_cluster.rank_ctx(0)
+        dst = small_cluster.rank_ctx(2)
+        proxy_a = small_cluster.proxy_ctx(0, 0)
+        proxy_b = small_cluster.proxy_ctx(0, 1)
+        sa = src.space.alloc(SIZE)
+        da = dst.space.alloc(SIZE)
+
+        def prog(sim):
+            hd = yield from reg_mr(dst, da, SIZE)
+            gid = gvmi_id_of(proxy_a)
+            mkey = yield from host_gvmi_register(src, sa, SIZE, gid)
+            mk2 = yield from cross_register(proxy_a, sa, SIZE, gid, mkey.key)
+            yield from rdma_write(
+                proxy_b, lkey=mk2.key, src_addr=sa, rkey=hd.rkey,
+                dst_addr=da, size=SIZE)
+
+        with pytest.raises(ProtectionError, match="not usable"):
+            run_proc(small_cluster, prog(small_cluster.sim))
+
+    def test_right_gvmi_proxy_succeeds(self, tiny_cluster):
+        """Control case: the legal combination does move the bytes."""
+        box = _setup(tiny_cluster)
+
+        def prog(sim):
+            t = yield from rdma_write(
+                box["proxy"], lkey=box["mk2"].key, src_addr=box["sa"],
+                rkey=box["hd"].rkey, dst_addr=box["da"], size=SIZE)
+            yield t.completed
+
+        run_proc(tiny_cluster, prog(tiny_cluster.sim))
+        assert (box["dst"].space.read(box["da"], SIZE)
+                == box["src"].space.read(box["sa"], SIZE)).all()

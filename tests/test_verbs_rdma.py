@@ -1,6 +1,5 @@
 """Unit tests for RDMA operations: data movement, keys, completion."""
 
-import numpy as np
 import pytest
 
 from tests.helpers import pattern, run_proc
