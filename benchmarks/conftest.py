@@ -9,9 +9,13 @@ configurations (minutes+); default is the quick scale whose shape
 checks are asserted.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
 @pytest.fixture(scope="session")
@@ -22,13 +26,18 @@ def scale() -> str:
 @pytest.fixture
 def run_figure(benchmark, scale):
     """Run a figure module once under pytest-benchmark, print its table,
-    and assert its paper-shape checks."""
+    assert its paper-shape checks, and drop a JSON metrics snapshot of
+    the run next to the text tables in ``results/``."""
 
     def _run(module):
         fig = benchmark.pedantic(module.run, kwargs={"scale": scale},
                                  rounds=1, iterations=1)
         print()
         print(fig.render())
+        if RESULTS_DIR.is_dir():
+            snap = {"schema": "repro.obs/1", **fig.to_dict()}
+            (RESULTS_DIR / f"{fig.fig_id}.json").write_text(
+                json.dumps(snap, indent=2, sort_keys=True) + "\n")
         failed = [c for c in fig.checks if not c.passed]
         assert not failed, f"{fig.fig_id}: failed checks {[c.name for c in failed]}"
         return fig

@@ -95,6 +95,9 @@ class FigureResult:
     notes: str = ""
     #: Config used (scale, nodes, ppn, ...), recorded for EXPERIMENTS.md.
     config: dict = field(default_factory=dict)
+    #: Counter/histogram snapshots captured by the figure module
+    #: (JSON-ready; lands in runall's figNN.json next to the tables).
+    metrics: dict = field(default_factory=dict)
 
     def series_by(self, label: str) -> Series:
         for s in self.series:
@@ -108,6 +111,25 @@ class FigureResult:
     @property
     def all_passed(self) -> bool:
         return all(c.passed for c in self.checks)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (runall's figNN.json snapshot)."""
+        return {
+            "fig_id": self.fig_id,
+            "title": self.title,
+            "config": dict(self.config),
+            "series": [
+                {"label": s.label, "unit": s.unit,
+                 "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "notes": self.notes,
+            "metrics": self.metrics,
+        }
 
     def render(self) -> str:
         """Aligned text table: x down the rows, one column per series."""

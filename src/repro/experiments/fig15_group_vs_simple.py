@@ -32,10 +32,19 @@ def _spec(scale: str) -> ClusterSpec:
     return ClusterSpec(nodes=4, ppn=4, proxies_per_dpu=4)
 
 
-def _scatter_dest(scale: str, block: int, variant: str, iters: int = 3, warmup: int = 1):
-    """Per-iteration time + host<->DPU control messages for one variant."""
+def _scatter_dest(scale: str, block: int, variant: str, iters: int = 3, warmup: int = 1,
+                  instrument=None):
+    """Per-iteration time + host<->DPU control messages for one variant.
+
+    ``instrument``, when given, is called with the freshly built cluster
+    before any framework objects exist -- the hook the observability
+    layer (``repro.obs.observe_cluster``) and the trace tests use to
+    attach an event bus / tracer to an otherwise stock figure run.
+    """
     spec = _spec(scale)
     cl = Cluster(spec)
+    if instrument is not None:
+        instrument(cl)
     fw = OffloadFramework(cl, mode="gvmi", group_caching=True)
     P = spec.world_size
     barrier = SimBarrier(cl.sim, P)
@@ -85,20 +94,23 @@ def _scatter_dest(scale: str, block: int, variant: str, iters: int = 3, warmup: 
         + cl.metrics.get("proxy.fin_writes")
         + cl.metrics.get("proxy.group_completions")
     )
-    return mean(samples), ctrl / (warmup + iters)
+    return mean(samples), ctrl / (warmup + iters), cl
 
 
 def run(scale: str = "quick") -> FigureResult:
     blocks = PAPER_BLOCKS if scale == "paper" else QUICK_BLOCKS
     simple_t, group_t = [], []
     simple_ctrl, group_ctrl = [], []
+    snaps: dict = {}
     for b in blocks:
-        t, c = _scatter_dest(scale, b, "simple")
+        t, c, cl = _scatter_dest(scale, b, "simple")
         simple_t.append(t * 1e6)
         simple_ctrl.append(c)
-        t, c = _scatter_dest(scale, b, "group")
+        snaps["simple"] = cl.metrics.snapshot_full()
+        t, c, cl = _scatter_dest(scale, b, "group")
         group_t.append(t * 1e6)
         group_ctrl.append(c)
+        snaps["group"] = cl.metrics.snapshot_full()
     xs = [fmt_size(b) for b in blocks]
     fig = FigureResult(
         fig_id="fig15",
@@ -110,6 +122,7 @@ def run(scale: str = "quick") -> FigureResult:
             Series("Group ctrl msgs/iter", xs, group_ctrl, unit="#"),
         ],
         config={"scale": scale, "nodes": _spec(scale).nodes, "ppn": _spec(scale).ppn},
+        metrics=snaps,
     )
     gains = [100.0 * (s - g) / s for s, g in zip(simple_t, group_t)]
     fig.check(

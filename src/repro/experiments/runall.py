@@ -3,7 +3,9 @@
 Options:
     figNN ...        only these figures (e.g. ``fig13 fig17``)
     --scale SCALE    quick (default) or paper
-    --out DIR        also write each table to DIR/figNN.txt
+    --out DIR        also write each table to DIR/figNN.txt plus a JSON
+                     metrics snapshot (series + counters/histograms) to
+                     DIR/figNN.json
 
 A crash in one figure no longer aborts the batch: the error is
 reported, the remaining figures still run, and the exit status is
@@ -14,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 import time
 import traceback
@@ -82,6 +85,9 @@ def main(argv: list[str] | None = None) -> int:
         print()
         if out_dir:
             (out_dir / f"{fig.fig_id}.txt").write_text(text + "\n")
+            snap = {"schema": "repro.obs/1", **fig.to_dict()}
+            (out_dir / f"{fig.fig_id}.json").write_text(
+                json.dumps(snap, indent=2, sort_keys=True) + "\n")
         statuses.append((name, "pass" if fig.all_passed else "shape-fail"))
 
     bad = [(name, status) for name, status in statuses if status != "pass"]

@@ -29,6 +29,9 @@ class Cluster:
         #: Optional :class:`~repro.hw.faults.FaultPlan` (chaos testing);
         #: installed via :meth:`install_faults`, None for clean runs.
         self.fault_plan = None
+        #: Optional :class:`~repro.obs.events.EventBus`; set by
+        #: ``EventBus.attach`` (or ``repro.obs.observe_cluster``).
+        self.bus = None
 
         self.nodes: list[Node] = [Node(self, n) for n in range(spec.nodes)]
         self.fabric = Fabric(self.sim, [n.hca for n in self.nodes], self.params,
@@ -66,6 +69,8 @@ class Cluster:
         """
         self.fault_plan = plan.bind(self)
         self.fabric.fault_plan = self.fault_plan
+        if self.bus is not None:
+            self.fault_plan.bus = self.bus
         return self
 
     # -- lookups -----------------------------------------------------------

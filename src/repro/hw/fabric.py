@@ -66,6 +66,14 @@ class Fabric:
         #: Optional :class:`~repro.hw.faults.FaultPlan`; None keeps every
         #: message on the original fault-free path.
         self.fault_plan = None
+        #: Optional :class:`~repro.obs.events.EventBus`; set by
+        #: ``EventBus.attach``.  None keeps all paths emission-free.
+        self.bus = None
+        # Per-fabric ids tagging bus events so posts/deliveries/
+        # completions of one message correlate (deterministic: assigned
+        # in post order).
+        self._xfer_seq = 0
+        self._ctrl_seq = 0
 
     def one_way_latency(self, src_node: int, dst_node: int) -> float:
         if src_node == dst_node:
@@ -102,6 +110,12 @@ class Fabric:
         completed = self.sim.event()
         src_hca.count_post(initiator, size)
         t_posted = self.sim.now
+        xid = self._xfer_seq
+        self._xfer_seq += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit("xfer", "post", f"node{src_node}", xid=xid, kind=kind,
+                     size=size, initiator=initiator, dst=dst_node)
 
         plan = self.fault_plan
         status, extra_delay = "ok", 0.0
@@ -143,8 +157,17 @@ class Fabric:
                     f"node{src_node}", f"node{dst_node}", size, kind,
                     t_posted, self.sim.now,
                 )
+            if bus is not None:
+                bus.emit("xfer", "deliver", f"node{dst_node}", xid=xid,
+                         status=status)
+            src_hca.metrics.observe(
+                f"fabric.xfer_latency.{kind}", self.sim.now - t_posted
+            )
             delivered.succeed(dv)
             yield self.sim.timeout(self.params.ack_latency)
+            if bus is not None:
+                bus.emit("xfer", "complete", f"node{src_node}", xid=xid,
+                         status=status)
             completed.succeed(dv)
 
         self.sim.process(_run())
@@ -184,6 +207,13 @@ class Fabric:
         delivered = self.sim.event()
         src_hca.count_post(initiator, nbytes)
         src_hca.metrics.add("fabric.control_msgs")
+        cid = self._ctrl_seq
+        self._ctrl_seq += 1
+        t_posted = self.sim.now
+        bus = self.bus
+        if bus is not None:
+            bus.emit("ctrl", "post", f"node{src_node}", cid=cid, kind=kind,
+                     size=nbytes, initiator=initiator, dst=dst_node)
         latency = (
             self.params.ctrl_latency
             if src_node == dst_node
@@ -215,11 +245,18 @@ class Fabric:
                 # Lost in flight (drop) or discarded by the receiver's
                 # ICRC check (corrupt): it never reaches the inbox.
                 src_hca.metrics.add(f"fabric.faults.{action}")
+                if bus is not None:
+                    bus.emit("ctrl", "drop", f"node{dst_node}", cid=cid,
+                             kind=kind, action=action)
                 return
             inbox.put(msg)
             if action == "dup":
                 src_hca.metrics.add("fabric.faults.dup")
                 inbox.put(msg)
+            if bus is not None:
+                bus.emit("ctrl", "deliver", f"node{dst_node}", cid=cid,
+                         kind=kind)
+            src_hca.metrics.observe("fabric.ctrl_latency", self.sim.now - t_posted)
             delivered.succeed(msg)
 
         self.sim.process(_run())

@@ -153,6 +153,10 @@ class FaultPlan:
         self.seed = seed
         self.sim = None
         self._rng = None
+        #: Optional :class:`~repro.obs.events.EventBus` (set when a bus
+        #: is attached to the cluster); every audit record doubles as a
+        #: ``fault.inject`` event.
+        self.bus = None
         #: (time, category, detail) audit records, in decision order.
         self.events: list[tuple] = []
         self.stats: dict[str, int] = {
@@ -176,6 +180,9 @@ class FaultPlan:
     def record(self, category: str, detail: str) -> None:
         now = 0.0 if self.sim is None else self.sim.now
         self.events.append((round(now, 12), category, detail))
+        if self.bus is not None:
+            self.bus.emit("fault", "inject", "fabric",
+                          category=category, detail=detail)
 
     def trace(self) -> tuple:
         """Immutable audit trail; byte-identical across reruns of one seed."""

@@ -1,16 +1,25 @@
-"""Cluster-wide counters.
+"""Cluster-wide counters and latency histograms.
 
 A single :class:`Metrics` object hangs off the :class:`~repro.hw.cluster.Cluster`
 and is incremented from every layer: NIC engines, registration paths,
 caches, proxies, the MPI runtime.  Experiments read it to report e.g.
 control-message counts (Fig 15's Simple-vs-Group comparison) or
 registration-cache hit rates.
+
+Besides flat counters (:meth:`Metrics.add`) the bag keeps one
+:class:`~repro.obs.hist.Histogram` per observed key
+(:meth:`Metrics.observe`) so latency distributions -- transfer flight
+times, request post-to-completion, control-message RTTs -- come out
+with p50/p95/p99 in the JSON snapshot instead of a single mean.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hist import Histogram
 
 __all__ = ["Metrics"]
 
@@ -20,7 +29,9 @@ class Metrics:
 
     def __init__(self) -> None:
         self._counters: dict[str, float] = defaultdict(float)
+        self._hists: dict[str, "Histogram"] = {}
 
+    # -- counters ---------------------------------------------------------
     def add(self, key: str, amount: float = 1.0) -> None:
         self._counters[key] += amount
 
@@ -37,18 +48,75 @@ class Metrics:
         return iter(sorted(self._counters.items()))
 
     def with_prefix(self, prefix: str) -> dict[str, float]:
-        """All counters under ``prefix.`` (key is returned un-prefixed)."""
+        """All counters under ``prefix.`` (key is returned un-prefixed).
+
+        An empty prefix returns every counter unchanged (there is no
+        ``"."`` level to strip).
+        """
+        if not prefix:
+            return dict(self._counters)
         cut = len(prefix) + 1
         return {
             k[cut:]: v for k, v in self._counters.items() if k.startswith(prefix + ".")
         }
 
+    # -- histograms -------------------------------------------------------
+    def observe(self, key: str, value: float) -> None:
+        """Record one sample into the histogram named ``key``."""
+        hist = self._hists.get(key)
+        if hist is None:
+            from repro.obs.hist import Histogram
+
+            hist = self._hists[key] = Histogram()
+        hist.observe(value)
+
+    def hist(self, key: str) -> "Histogram":
+        """The histogram for ``key`` (an empty one if never observed)."""
+        hist = self._hists.get(key)
+        if hist is None:
+            from repro.obs.hist import Histogram
+
+            hist = Histogram()
+        return hist
+
+    def hists(self) -> Iterator[tuple[str, "Histogram"]]:
+        return iter(sorted(self._hists.items()))
+
+    # -- aggregation ------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
+        """Counters only (back-compat); see ``snapshot_full`` for both."""
         return dict(self._counters)
+
+    def snapshot_full(self) -> dict:
+        """Counters plus histogram summaries, JSON-ready."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {k: h.summary() for k, h in self.hists()},
+        }
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold another bag's counters and samples into this one."""
+        for key, value in other._counters.items():
+            self._counters[key] += value
+        for key, hist in other._hists.items():
+            mine = self._hists.get(key)
+            if mine is None:
+                from repro.obs.hist import Histogram
+
+                mine = self._hists[key] = Histogram()
+            mine.merge(hist)
+        return self
 
     def reset(self) -> None:
         self._counters.clear()
+        self._hists.clear()
 
     def report(self) -> str:
         lines = [f"{k:<48s} {v:>14.3f}" for k, v in self]
+        for key, hist in self.hists():
+            if hist:
+                lines.append(
+                    f"{key:<48s} n={hist.count} p50={hist.p50:.3e} "
+                    f"p95={hist.p95:.3e} p99={hist.p99:.3e}"
+                )
         return "\n".join(lines)

@@ -51,6 +51,8 @@ class Hca:
         self.tx = Resource(sim, capacity=1)
         #: Inbound delivery engine.
         self.rx = Resource(sim, capacity=1)
+        #: Optional :class:`~repro.obs.events.EventBus`.
+        self.bus = None
 
     # -- cost helpers -----------------------------------------------------
     def injection_gap(self, initiator: str) -> float:
@@ -92,3 +94,6 @@ class Hca:
     def count_post(self, initiator: str, size: int) -> None:
         self.metrics.add(f"nic.{initiator}_posted_msgs")
         self.metrics.add(f"nic.{initiator}_posted_bytes", size)
+        if self.bus is not None:
+            self.bus.emit("wqe", "post", f"node{self.node_id}",
+                          initiator=initiator, size=size)

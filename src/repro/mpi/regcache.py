@@ -59,12 +59,19 @@ class RegistrationCache:
         entry = self._entries.get((addr, size))
         if entry is None:
             entry = self._find_covering(addr, size)
+        bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
             metrics.add(f"regcache.{self.name}.hit")
+            if bus is not None:
+                bus.emit("cache", "hit", self.ctx.trace_name,
+                         cache=f"regcache.{self.name}", size=size)
             return entry
         self.misses += 1
         metrics.add(f"regcache.{self.name}.miss")
+        if bus is not None:
+            bus.emit("cache", "miss", self.ctx.trace_name,
+                     cache=f"regcache.{self.name}", size=size)
         handle = yield from reg_mr(self.ctx, addr, size)
         self._entries[(addr, size)] = handle
         return handle

@@ -215,8 +215,17 @@ class MpiRuntime:
             raise MpiError("self-sends must be copied locally (use sendrecv_self)")
         cluster = self.ctx.cluster
         if cluster.same_node(src_world, dst_world):
-            yield from self._shm_send(env, req)
+            proto = "shm"
         elif size <= self.params.eager_threshold:
+            proto = "eager"
+        else:
+            proto = "rndv"
+        if cluster.bus is not None:
+            cluster.bus.emit("mpi", "isend", self.ctx.trace_name,
+                             peer=dst_world, tag=tag, size=size, proto=proto)
+        if proto == "shm":
+            yield from self._shm_send(env, req)
+        elif proto == "eager":
             yield from self._eager_send(env, req)
         else:
             yield from self._rndv_send(env, req)
@@ -310,6 +319,10 @@ class MpiRuntime:
     def _complete(self, req) -> None:
         req.complete = True
         req.complete_time = self.sim.now
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("mpi", "complete", self.ctx.trace_name,
+                     kind=req.kind, peer=req.peer, tag=req.tag, size=req.size)
 
     def _handle(self, item) -> None:
         kind = item[0]

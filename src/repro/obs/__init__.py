@@ -1,0 +1,99 @@
+"""Structured observability for the offload stack.
+
+The paper's claims are about *where time goes* -- proxy-driven progress
+without CPU intervention (Fig 1), registration- and group-request-cache
+amortisation (Sec VII-B/D) -- so "it ran" is not a useful test oracle;
+"it ran the way the paper says" is.  This package supplies the
+measurement substrate:
+
+* :class:`~repro.obs.events.EventBus` -- a typed, deterministic event
+  stream (WQE posts/completions, registrations, cache hits/misses,
+  RTS/RTR/FIN control traffic, group plan record/replay, fault
+  injections, proxy lifecycle) emitted from every layer of the stack
+  when a bus is attached to the cluster.  With no bus attached every
+  hook is a single ``is None`` check -- clean runs are unchanged.
+* :class:`~repro.obs.hist.Histogram` -- latency histograms with
+  p50/p95/p99, layered onto :class:`~repro.hw.metrics.Metrics` via
+  ``Metrics.observe``.
+* :mod:`~repro.obs.export` -- exporters: Chrome ``trace_event`` JSON
+  (open in https://ui.perfetto.dev), per-rank text timelines, and JSON
+  metrics snapshots written next to ``results/`` by ``runall``.
+* :mod:`~repro.obs.invariants` -- the trace invariant checker consumed
+  by ``tests/harness``: every post completes, arrows respect causality,
+  no host CPU span overlaps offloaded group execution, group plans are
+  never rebuilt once cached.
+
+Typical wiring::
+
+    from repro.obs import observe_cluster
+    obs = observe_cluster(cluster)      # EventBus + Tracer, both attached
+    ...run...
+    obs.write_chrome_trace("trace.json")
+    print(obs.timeline())
+    check_trace(obs.bus, tracer=obs.tracer)
+"""
+
+from repro.obs.events import EventBus, ObsEvent
+from repro.obs.hist import Histogram
+from repro.obs.export import (
+    chrome_trace,
+    metrics_snapshot,
+    render_timeline,
+    write_chrome_trace,
+    write_metrics_snapshot,
+)
+from repro.obs.invariants import TraceInvariantError, check_trace, trace_violations
+
+__all__ = [
+    "EventBus",
+    "Histogram",
+    "ObsEvent",
+    "Observability",
+    "TraceInvariantError",
+    "check_trace",
+    "chrome_trace",
+    "metrics_snapshot",
+    "observe_cluster",
+    "render_timeline",
+    "trace_violations",
+    "write_chrome_trace",
+    "write_metrics_snapshot",
+]
+
+
+class Observability:
+    """Bundle of an :class:`EventBus` + :class:`Tracer` on one cluster."""
+
+    def __init__(self, cluster, bus, tracer):
+        self.cluster = cluster
+        self.bus = bus
+        self.tracer = tracer
+
+    def chrome_trace(self) -> dict:
+        return chrome_trace(self.cluster, bus=self.bus, tracer=self.tracer)
+
+    def write_chrome_trace(self, path) -> dict:
+        return write_chrome_trace(path, self.cluster, bus=self.bus,
+                                  tracer=self.tracer)
+
+    def timeline(self, width: int = 72, entities=None) -> str:
+        return render_timeline(self.tracer, width=width, entities=entities)
+
+    def metrics_snapshot(self, extra: dict | None = None) -> dict:
+        return metrics_snapshot(self.cluster, extra=extra)
+
+    def check(self, **kw) -> None:
+        check_trace(self.bus, tracer=self.tracer, **kw)
+
+
+def observe_cluster(cluster, categories=None) -> Observability:
+    """Attach full observability (events + spans) to ``cluster``.
+
+    Must run before traffic flows; returns the :class:`Observability`
+    handle used to export traces and snapshots after the run.
+    """
+    from repro.hw.trace import Tracer
+
+    bus = EventBus.attach(cluster, categories=categories)
+    tracer = Tracer.attach(cluster)
+    return Observability(cluster, bus, tracer)

@@ -1,0 +1,204 @@
+"""Typed event bus for the simulated offload stack.
+
+Every instrumented layer (``sim/core``, ``hw/fabric``, ``hw/nic``,
+``verbs/*``, ``offload/api``, ``offload/proxy``, ``mpi/runtime``) holds
+a ``bus`` attribute that defaults to ``None``; emission sites are all of
+the shape::
+
+    bus = self.bus
+    if bus is not None:
+        bus.emit("xfer", "post", "dpu2", size=4096, xid=17)
+
+so a run with no bus attached executes exactly the seed code path and
+costs one attribute load per site.  Emission never consumes simulated
+time and never perturbs the RNG streams -- attaching a bus cannot
+change what the simulation does, only what we can see of it.
+
+Event taxonomy (``cat`` / ``name``; full table in docs/OBSERVABILITY.md):
+
+=========  ==========================================================
+category   names
+=========  ==========================================================
+sim        deadlock
+proc       start, end
+wqe        post
+xfer       post, deliver, complete
+ctrl       post, deliver, drop
+reg        mr, mkey, mkey2
+cache      hit, miss, stale       (args name the cache)
+req        post, complete, retransmit, fallback
+group      call, offloaded, launch, replay, done
+proxy      start, kill, restart, pair, fin
+mpi        isend, complete
+fault      inject
+=========  ==========================================================
+
+``entity`` identifies the emitting lane and matches the Tracer's lane
+names where one exists (``host3``, ``dpu1``, ``fabric``, ``sim``), so
+the Chrome-trace exporter can park instants on the matching track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+__all__ = ["ObsEvent", "EventBus", "CATEGORIES"]
+
+#: Known categories, in taxonomy order.  ``EventBus`` accepts unknown
+#: categories too (forward compatibility), but filters and docs speak
+#: this vocabulary.
+CATEGORIES = (
+    "sim", "proc", "wqe", "xfer", "ctrl", "reg", "cache",
+    "req", "group", "proxy", "mpi", "fault",
+)
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """One tagged event on the bus.
+
+    ``args`` is a tuple of sorted ``(key, value)`` pairs rather than a
+    dict so events are hashable and their serialisation order is
+    deterministic regardless of emission-site keyword order.
+    """
+
+    time: float
+    seq: int
+    cat: str
+    name: str
+    entity: str
+    args: tuple = field(default=())
+
+    def arg(self, key: str, default=None):
+        for k, v in self.args:
+            if k == key:
+                return v
+        return default
+
+    def argdict(self) -> dict:
+        return dict(self.args)
+
+    def label(self) -> str:
+        """Compact one-line rendering (used by timelines and messages)."""
+        kv = " ".join(f"{k}={v}" for k, v in self.args)
+        base = f"[{self.time * 1e6:10.3f}us] {self.entity:<8} {self.cat}.{self.name}"
+        return f"{base} {kv}".rstrip()
+
+
+class EventBus:
+    """Collects :class:`ObsEvent` records from an instrumented cluster.
+
+    The bus stamps each event with the simulator clock and a
+    monotonically increasing sequence number (so simultaneous events
+    keep their emission order -- the total order is deterministic for a
+    fixed seed).  ``categories`` restricts collection to a subset of
+    :data:`CATEGORIES`; everything else is dropped at the emit site.
+    """
+
+    def __init__(self, sim=None, categories: Optional[Iterable[str]] = None):
+        self.sim = sim
+        self.events: list[ObsEvent] = []
+        self._seq = 0
+        self._categories = frozenset(categories) if categories is not None else None
+        self._subscribers: list[Callable[[ObsEvent], None]] = []
+
+    # -- wiring ---------------------------------------------------------
+    @classmethod
+    def attach(cls, cluster, categories: Optional[Iterable[str]] = None) -> "EventBus":
+        """Create a bus and hang it on every emitting object of ``cluster``.
+
+        Mirrors ``Tracer.attach``: the cluster, its simulator, fabric,
+        per-node HCAs, and (if installed) fault plan all share the one
+        bus.  Objects constructed later -- MPI runtimes, offload
+        frameworks -- pick the bus up from the cluster at their own
+        construction time, so attach the bus before building those.
+        """
+        bus = cls(sim=cluster.sim, categories=categories)
+        cluster.bus = bus
+        cluster.sim.bus = bus
+        cluster.fabric.bus = bus
+        for node in cluster.nodes:
+            node.hca.bus = bus
+        if getattr(cluster, "fault_plan", None) is not None:
+            cluster.fault_plan.bus = bus
+        return bus
+
+    def subscribe(self, fn: Callable[[ObsEvent], None]) -> None:
+        """Call ``fn(event)`` on every accepted event (live consumers)."""
+        self._subscribers.append(fn)
+
+    # -- emission -------------------------------------------------------
+    def wants(self, cat: str) -> bool:
+        return self._categories is None or cat in self._categories
+
+    def emit(self, _cat: str, _name: str, _entity: str, **args) -> Optional[ObsEvent]:
+        """Record one event; returns it, or ``None`` when filtered out.
+
+        The three positional parameters are underscore-prefixed so event
+        args may themselves be called ``name``/``cat``/``entity``.
+        """
+        if not self.wants(_cat):
+            return None
+        now = 0.0 if self.sim is None else self.sim.now
+        ev = ObsEvent(
+            time=round(now, 12),
+            seq=self._seq,
+            cat=_cat,
+            name=_name,
+            entity=_entity,
+            args=tuple(sorted(args.items())),
+        )
+        self._seq += 1
+        self.events.append(ev)
+        for fn in self._subscribers:
+            fn(ev)
+        return ev
+
+    # -- queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ObsEvent]:
+        return iter(self.events)
+
+    def select(self, cat: Optional[str] = None, name: Optional[str] = None,
+               entity: Optional[str] = None, **args) -> list[ObsEvent]:
+        """Events matching every given filter (args match by equality)."""
+        out = []
+        for ev in self.events:
+            if cat is not None and ev.cat != cat:
+                continue
+            if name is not None and ev.name != name:
+                continue
+            if entity is not None and ev.entity != entity:
+                continue
+            if args and any(ev.arg(k, _MISSING) != v for k, v in args.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def count(self, cat: Optional[str] = None, name: Optional[str] = None,
+              entity: Optional[str] = None, **args) -> int:
+        return len(self.select(cat=cat, name=name, entity=entity, **args))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Plain-text dump of the stream (debugging aid)."""
+        evs = self.events if limit is None else self.events[:limit]
+        lines = [ev.label() for ev in evs]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more)")
+        return "\n".join(lines) if lines else "(no events)"
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,215 @@
+"""Trace invariants: what a *correct* run's event stream must look like.
+
+The differential harness (``tests/harness``) checks payload equality
+between backends; this module checks the *shape* of the execution
+itself, straight off the :class:`~repro.obs.events.EventBus` stream
+(plus, optionally, the Tracer's span lanes):
+
+1. **Every post completes** -- each ``req.post`` (an offloaded
+   Send/Recv handed to a proxy) is matched by a ``req.complete`` with
+   the same ``rid`` at a later time.  A lost FIN shows up here.
+2. **Causality** -- each data transfer's ``post <= deliver <=
+   complete`` timestamps are monotone, and every control message that
+   was posted is either delivered or accounted for by an explicit
+   ``ctrl.drop`` record from the fault layer.
+3. **No host CPU during offloaded group execution** -- between a host
+   rank's ``group.offloaded`` marker (the host handed the group to its
+   proxy and went back to "compute") and the matching ``group.done``,
+   that rank's Tracer lane must be empty: the paper's central claim
+   (Fig 1) is that the DPU makes progress with zero host involvement.
+4. **Group plans are built once** -- after a ``group.call`` with
+   ``mode="cached"`` for some plan signature, a later ``mode="build"``
+   for the same signature is a cache regression (unless a fault event
+   intervened: proxy restarts legitimately re-ship plans).
+
+:func:`trace_violations` returns the violations as pointed human
+messages; :func:`check_trace` raises :class:`TraceInvariantError`
+carrying all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["TraceInvariantError", "trace_violations", "check_trace"]
+
+
+class TraceInvariantError(AssertionError):
+    """A run's event stream violated one or more trace invariants."""
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        n = len(self.violations)
+        head = f"{n} trace invariant violation{'s' if n != 1 else ''}:"
+        super().__init__("\n".join([head] + [f"  - {v}" for v in self.violations]))
+
+
+def _fmt_t(t: float) -> str:
+    return f"{t * 1e6:.3f}us"
+
+
+def _check_requests(bus, out: list[str]) -> None:
+    posts = {}
+    for ev in bus.select(cat="req", name="post"):
+        posts[ev.arg("rid")] = ev
+    completed = set()
+    for ev in bus.select(cat="req", name="complete"):
+        rid = ev.arg("rid")
+        completed.add(rid)
+        post = posts.get(rid)
+        if post is not None and ev.time < post.time:
+            out.append(
+                f"request rid={rid} completed at {_fmt_t(ev.time)} *before* its "
+                f"post at {_fmt_t(post.time)} -- completion/post causality broken"
+            )
+    for rid, post in posts.items():
+        if rid not in completed:
+            kind = post.arg("kind", "?")
+            peer = post.arg("peer", "?")
+            out.append(
+                f"request rid={rid} ({kind} {post.entity}<->rank{peer}, "
+                f"tag={post.arg('tag', '?')}, {post.arg('size', '?')}B) posted at "
+                f"{_fmt_t(post.time)} never completed -- its FIN/completion was "
+                f"lost and no recovery path fired"
+            )
+
+
+def _check_transfers(bus, out: list[str]) -> None:
+    posts = {ev.arg("xid"): ev for ev in bus.select(cat="xfer", name="post")}
+    delivers = {ev.arg("xid"): ev for ev in bus.select(cat="xfer", name="deliver")}
+    completes = {ev.arg("xid"): ev for ev in bus.select(cat="xfer", name="complete")}
+    for xid, post in posts.items():
+        dv = delivers.get(xid)
+        if dv is None:
+            out.append(
+                f"transfer xid={xid} ({post.arg('kind')}, {post.arg('size')}B from "
+                f"{post.entity}) posted at {_fmt_t(post.time)} was never delivered "
+                f"-- the simulation ended with bytes in flight"
+            )
+            continue
+        if dv.time < post.time:
+            out.append(
+                f"transfer xid={xid} delivered at {_fmt_t(dv.time)} before its "
+                f"post at {_fmt_t(post.time)}"
+            )
+        cq = completes.get(xid)
+        if cq is not None and cq.time < dv.time:
+            out.append(
+                f"transfer xid={xid} completion CQE at {_fmt_t(cq.time)} precedes "
+                f"its delivery at {_fmt_t(dv.time)}"
+            )
+
+
+def _check_control(bus, out: list[str]) -> None:
+    delivered = {}
+    dropped = set()
+    for ev in bus.select(cat="ctrl", name="deliver"):
+        delivered[ev.arg("cid")] = ev
+    for ev in bus.select(cat="ctrl", name="drop"):
+        dropped.add(ev.arg("cid"))
+    for post in bus.select(cat="ctrl", name="post"):
+        cid = post.arg("cid")
+        dv = delivered.get(cid)
+        if dv is None:
+            if cid not in dropped:
+                out.append(
+                    f"control message cid={cid} ({post.arg('kind')} from "
+                    f"{post.entity}) posted at {_fmt_t(post.time)} neither "
+                    f"delivered nor recorded as dropped"
+                )
+        elif dv.time < post.time:
+            out.append(
+                f"control message cid={cid} ({post.arg('kind')}) delivered at "
+                f"{_fmt_t(dv.time)} before its post at {_fmt_t(post.time)}"
+            )
+
+
+def _check_arrows(tracer, out: list[str]) -> None:
+    for a in tracer.arrows:
+        if a.delivered < a.posted:
+            out.append(
+                f"arrow {a.src}->{a.dst} ({a.kind}, {a.size}B) delivered at "
+                f"{_fmt_t(a.delivered)} before it was posted at {_fmt_t(a.posted)}"
+            )
+
+
+def _check_offload_windows(bus, tracer, out: list[str], eps: float) -> None:
+    """Host lanes must stay idle while their group executes on the DPU."""
+    dones = bus.select(cat="group", name="done")
+    for start in bus.select(cat="group", name="offloaded"):
+        call = start.arg("call")
+        end = next(
+            (d for d in dones
+             if d.entity == start.entity and d.arg("call") == call),
+            None,
+        )
+        if end is None:
+            out.append(
+                f"{start.entity} offloaded group call={call} at "
+                f"{_fmt_t(start.time)} but no group.done ever followed"
+            )
+            continue
+        for s in tracer.spans:
+            if s.entity != start.entity:
+                continue
+            lo = max(s.start, start.time + eps)
+            hi = min(s.end, end.time - eps)
+            if hi > lo:
+                out.append(
+                    f"{start.entity} burned {_fmt_t(hi - lo)} of CPU inside the "
+                    f"offloaded window of group call={call} "
+                    f"({_fmt_t(start.time)}..{_fmt_t(end.time)}) -- offloaded "
+                    f"groups must progress without host involvement"
+                )
+                break
+
+
+def _check_plan_cache(bus, out: list[str], allow_replay_after_fault: bool) -> None:
+    fault_times = [ev.time for ev in bus.select(cat="fault")]
+    fault_times += [ev.time for ev in bus.select(cat="proxy", name="kill")]
+    cached_at: dict[tuple, float] = {}
+    for ev in bus.select(cat="group", name="call"):
+        key = (ev.entity, ev.arg("sig"))
+        mode = ev.arg("mode")
+        if mode == "cached":
+            cached_at.setdefault(key, ev.time)
+        elif mode in ("build", "reship") and key in cached_at:
+            if allow_replay_after_fault and any(
+                cached_at[key] <= t <= ev.time for t in fault_times
+            ):
+                continue
+            out.append(
+                f"{ev.entity} re-{mode.rstrip('e')}ed group plan sig={ev.arg('sig')} "
+                f"at {_fmt_t(ev.time)} after it was already served from cache at "
+                f"{_fmt_t(cached_at[key])} -- plan-cache hits must stay monotone"
+            )
+
+
+def trace_violations(bus, tracer=None, *, check_overlap: bool = True,
+                     allow_replay_after_fault: bool = True,
+                     eps: float = 1e-12) -> list[str]:
+    """All invariant violations in ``bus`` (and ``tracer``), as messages."""
+    out: list[str] = []
+    _check_requests(bus, out)
+    _check_transfers(bus, out)
+    _check_control(bus, out)
+    _check_plan_cache(bus, out, allow_replay_after_fault)
+    if tracer is not None:
+        _check_arrows(tracer, out)
+        if check_overlap:
+            _check_offload_windows(bus, tracer, out, eps)
+    return out
+
+
+def check_trace(bus, tracer=None, *, check_overlap: bool = True,
+                allow_replay_after_fault: bool = True,
+                eps: float = 1e-12) -> None:
+    """Raise :class:`TraceInvariantError` if any invariant is violated."""
+    violations = trace_violations(
+        bus, tracer,
+        check_overlap=check_overlap,
+        allow_replay_after_fault=allow_replay_after_fault,
+        eps=eps,
+    )
+    if violations:
+        raise TraceInvariantError(violations)

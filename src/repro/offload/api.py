@@ -243,6 +243,16 @@ class OffloadEndpoint:
             raise OffloadError(f"completion write for unknown request {req_id}")
         req.complete = True
         req.complete_time = self.sim.now
+        if req.post_time is not None:
+            self.ctx.cluster.metrics.observe(
+                "offload.req_latency", self.sim.now - req.post_time
+            )
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            if isinstance(req, OffloadGroupRequest):
+                bus.emit("group", "done", self.ctx.trace_name, call=req.req_id)
+            else:
+                bus.emit("req", "complete", self.ctx.trace_name, rid=req.req_id)
         if req.event is not None and not req.event.triggered:
             req.event.succeed(req)
 
@@ -291,6 +301,11 @@ class OffloadEndpoint:
             }
         if self.resilient:
             req.resend = (proxy, ("rts", rts))
+        req.post_time = self.sim.now
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("req", "post", self.ctx.trace_name, rid=req.req_id,
+                     kind="send", peer=dst, tag=tag, size=size)
         yield from post_control(self.ctx, proxy, ("rts", rts), kind="rts")
         return req
 
@@ -311,6 +326,11 @@ class OffloadEndpoint:
         }
         if self.resilient:
             req.resend = (proxy, ("rtr", rtr))
+        req.post_time = self.sim.now
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("req", "post", self.ctx.trace_name, rid=req.req_id,
+                     kind="recv", peer=src, tag=tag, size=size)
         yield from post_control(self.ctx, proxy, ("rtr", rtr), kind="rtr")
         return req
 
@@ -364,6 +384,9 @@ class OffloadEndpoint:
 
     def _retransmit(self, req) -> None:
         self.ctx.cluster.metrics.add("offload.retransmits")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("req", "retransmit", self.ctx.trace_name, rid=req.req_id)
         if isinstance(req, OffloadGroupRequest):
             yield from self._retransmit_group(req)
             return
@@ -417,6 +440,10 @@ class OffloadEndpoint:
         """
         req.fallback = True
         self.ctx.cluster.metrics.add("offload.fallbacks")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("req", "fallback", self.ctx.trace_name, rid=req.req_id,
+                     kind=req.kind)
         self.framework.fallback_log.append(
             (round(self.sim.now, 9), self.rank, req.kind, req.req_id)
         )
@@ -574,16 +601,24 @@ class OffloadEndpoint:
         caching = self.framework.group_caching
         plan = self.group_cache.lookup(greq.signature()) if caching else None
         metrics = self.ctx.cluster.metrics
+        bus = self.ctx.cluster.bus
         if plan is not None and plan.sent_to_proxy and not plan.dirty:
             metrics.add("offload.group_call_cached")
+            if bus is not None:
+                bus.emit("group", "call", self.ctx.trace_name, mode="cached",
+                         sig=plan.plan_id, call=greq.req_id)
             if self.resilient:
                 greq.resend_plan = plan
+            greq.post_time = self.sim.now
             yield from post_control(
                 self.ctx, proxy,
                 ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
                                 "req_id": greq.req_id}),
                 kind="group_call",
             )
+            if bus is not None:
+                bus.emit("group", "offloaded", self.ctx.trace_name,
+                         call=greq.req_id, sig=plan.plan_id)
             return greq
 
         if plan is None:
@@ -596,8 +631,14 @@ class OffloadEndpoint:
 
                 plan = HostPlan(plan_id=next(_plan_ids), signature=greq.signature(),
                                 entries=entries)
+            if bus is not None:
+                bus.emit("group", "call", self.ctx.trace_name, mode="build",
+                         sig=plan.plan_id, call=greq.req_id)
         else:
             metrics.add("offload.group_call_reship")
+            if bus is not None:
+                bus.emit("group", "call", self.ctx.trace_name, mode="reship",
+                         sig=plan.plan_id, call=greq.req_id)
 
         packet = {
             "plan_id": plan.plan_id,
@@ -611,10 +652,14 @@ class OffloadEndpoint:
         )
         if self.resilient:
             greq.resend_plan = plan
+        greq.post_time = self.sim.now
         yield from post_control(self.ctx, proxy, ("group_plan", packet),
                                 size=nbytes, kind="group_plan")
         plan.sent_to_proxy = True
         plan.dirty = False
+        if bus is not None:
+            bus.emit("group", "offloaded", self.ctx.trace_name,
+                     call=greq.req_id, sig=plan.plan_id)
         return greq
 
     def group_wait(self, greq: OffloadGroupRequest):

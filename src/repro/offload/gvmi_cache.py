@@ -92,12 +92,19 @@ class HostGvmiCache:
                 if base <= addr and addr + size <= base + length and info.gvmi_id == gvmi_id:
                     entry = info
                     break
+        bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
             metrics.add("gvmi_cache.host.hit")
+            if bus is not None:
+                bus.emit("cache", "hit", self.ctx.trace_name,
+                         cache="gvmi.host", size=size)
             return entry
         self.misses += 1
         metrics.add("gvmi_cache.host.miss")
+        if bus is not None:
+            bus.emit("cache", "miss", self.ctx.trace_name,
+                     cache="gvmi.host", size=size)
         info = yield from host_gvmi_register(self.ctx, addr, size, gvmi_id)
         tree.insert((addr, size), info)
         return info
@@ -144,17 +151,27 @@ class DpuGvmiCache:
         yield self.ctx.consume(self.ctx.cluster.params.dpu_cache_lookup)
         tree = self._store.tree(host_rank)
         entry: Optional[KeyInfo] = tree.find((addr, size))
+        bus = self.ctx.cluster.bus
         if entry is not None:
             if entry.parent_mkey == mkey:
                 self.hits += 1
                 metrics.add("gvmi_cache.dpu.hit")
+                if bus is not None:
+                    bus.emit("cache", "hit", self.ctx.trace_name,
+                             cache="gvmi.dpu", size=size)
                 return entry
             # The paper argues this cannot happen; verify, don't assume.
             self.stale_detected += 1
             metrics.add("gvmi_cache.dpu.stale")
+            if bus is not None:
+                bus.emit("cache", "stale", self.ctx.trace_name,
+                         cache="gvmi.dpu", size=size)
             tree.remove((addr, size))
         self.misses += 1
         metrics.add("gvmi_cache.dpu.miss")
+        if bus is not None:
+            bus.emit("cache", "miss", self.ctx.trace_name,
+                     cache="gvmi.dpu", size=size)
         info = yield from cross_register(self.ctx, addr, size, gvmi_id, mkey)
         tree.insert((addr, size), info)
         return info

@@ -174,6 +174,9 @@ class ProxyEngine:
         self.sim.watchdog_probes.append(self._watchdog_report)
         self.process = self.sim.process(self._main_loop())
         self.process.name = f"proxy{ctx.global_id}"
+        bus = ctx.cluster.bus
+        if bus is not None:
+            bus.emit("proxy", "start", ctx.trace_name, gid=ctx.global_id)
 
     # ------------------------------------------------------------------
     # main loop
@@ -246,6 +249,10 @@ class ProxyEngine:
         self._live_reqs.clear()
         self._parked.clear()
         self.ctx.cluster.metrics.add("proxy.kills")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("proxy", "kill", self.ctx.trace_name,
+                     incarnation=self.incarnation)
         if self.process.is_alive:
             self.process.interrupt("proxy killed")
 
@@ -255,6 +262,10 @@ class ProxyEngine:
             return
         self.alive = True
         self.ctx.cluster.metrics.add("proxy.restarts")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("proxy", "restart", self.ctx.trace_name,
+                     incarnation=self.incarnation)
         self.process = self.sim.process(self._main_loop())
         self.process.name = f"proxy{self.ctx.global_id}.inc{self.incarnation}"
 
@@ -324,6 +335,11 @@ class ProxyEngine:
                 f"{rtr['size']} (src={rts['src']} dst={rts['dst']} tag={rts['tag']})"
             )
         self.ctx.cluster.metrics.add("proxy.basic_pairs")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("proxy", "pair", self.ctx.trace_name,
+                     src=rts["src"], dst=rts["dst"], tag=rts["tag"],
+                     size=rts["size"])
         pair = {"rts": rts, "rtr": rtr}
         yield from self._post_pair_transfer(pair, attempt=1)
 
@@ -477,6 +493,10 @@ class ProxyEngine:
             ep = fw.endpoint(host_rank)
             yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
             self.ctx.cluster.metrics.add("proxy.fin_writes")
+            bus = self.ctx.cluster.bus
+            if bus is not None:
+                bus.emit("proxy", "fin", self.ctx.trace_name,
+                         rid=req_id, to=host_rank)
             self.ctx.cluster.fabric.control(
                 src_node=self.ctx.node_id,
                 dst_node=ep.ctx.node_id,
@@ -574,6 +594,11 @@ class ProxyEngine:
             rec["incarnation"] = self.incarnation
             seqs = dict(rec["seqs"])
             self.ctx.cluster.metrics.add("proxy.group_replays")
+            if self.ctx.cluster.bus is not None:
+                self.ctx.cluster.bus.emit(
+                    "group", "replay", self.ctx.trace_name,
+                    plan=plan["plan_id"], call=req_id,
+                )
         else:
             seqs = {}
             for entry in plan["entries"]:
@@ -595,6 +620,10 @@ class ProxyEngine:
                 }
         executor = GroupExecutor(self, plan, req_id, seqs, cached=cached)
         self.ctx.cluster.metrics.add("proxy.group_plans_cached" if cached else "proxy.group_plans_full")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("group", "launch", self.ctx.trace_name,
+                     plan=plan["plan_id"], call=req_id, cached=cached)
         yield from self._drive_executor(executor, None)
 
     def finish_group(self, host_rank: int, req_id: int):

@@ -28,6 +28,9 @@ class OffloadRequest:
     req_id: int = field(default_factory=lambda: next(_ids))
     complete: bool = False
     complete_time: Optional[float] = None
+    #: When the request's control message was handed to the fabric
+    #: (stamped by the endpoint; feeds the post->completion histogram).
+    post_time: Optional[float] = None
     #: Triggered (by the proxy's completion write) when complete.
     event: Any = None
     #: Retransmit payload saved by the endpoint when resilience is on:
@@ -74,6 +77,8 @@ class OffloadGroupRequest:
     ops: list[GroupOp] = field(default_factory=list)
     complete: bool = False
     complete_time: Optional[float] = None
+    #: When the latest Group_Offload_call was shipped to the proxy.
+    post_time: Optional[float] = None
     event: Any = None
     #: Times Group_Offload_call has been issued on this request.
     calls: int = 0

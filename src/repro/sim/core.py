@@ -247,6 +247,9 @@ class Simulator:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        #: Optional :class:`~repro.obs.events.EventBus`; ``None`` keeps
+        #: the kernel entirely observation-free.
+        self.bus = None
         #: Number of events processed so far (diagnostics/determinism tests).
         self.processed_events: int = 0
         #: Deadlock diagnostics: callables returning lines describing
@@ -330,9 +333,12 @@ class Simulator:
             while self._heap and not stop:
                 self.step()
             if not stop:
+                reports = self._deadlock_reports()
+                if self.bus is not None:
+                    self.bus.emit("sim", "deadlock", "sim", waiters=len(reports))
                 raise DeadlockError(
                     "simulation ran dry before `until` event fired",
-                    self._deadlock_reports(),
+                    reports,
                 )
             if not sentinel._ok:
                 raise sentinel._value

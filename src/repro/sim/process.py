@@ -40,6 +40,8 @@ class Process(Event):
         #: or finished).
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        if sim.bus is not None:
+            sim.bus.emit("proc", "start", "sim", name=self.name)
         # Kick off at the current instant via an initialisation event.
         init = Event(sim)
         init._ok = True
@@ -88,6 +90,8 @@ class Process(Event):
                     event._defused = True
                     next_target = self._generator.throw(event._value)
             except StopIteration as stop:
+                if self.sim.bus is not None:
+                    self.sim.bus.emit("proc", "end", "sim", name=self.name)
                 self.succeed(stop.value)
                 return
             except BaseException as exc:

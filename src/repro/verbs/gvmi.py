@@ -75,6 +75,9 @@ def host_gvmi_register(host: ProcessContext, addr: int, size: int, gvmi_id: int)
         kind="mkey", owner=host, addr=addr, size=size, gvmi_id=gvmi_id
     )
     host.cluster.metrics.add("gvmi.host_registrations")
+    bus = host.cluster.bus
+    if bus is not None:
+        bus.emit("reg", "mkey", host.trace_name, size=size, gvmi=gvmi_id)
     return info
 
 
@@ -120,4 +123,7 @@ def cross_register(
         parent_mkey=mkey,
     )
     proxy.cluster.metrics.add("gvmi.cross_registrations")
+    bus = proxy.cluster.bus
+    if bus is not None:
+        bus.emit("reg", "mkey2", proxy.trace_name, size=size, gvmi=gvmi_id)
     return info

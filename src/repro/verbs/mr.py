@@ -140,6 +140,10 @@ def reg_mr(ctx: ProcessContext, addr: int, size: int):
     lk = state.keys.new_key(kind="lkey", owner=ctx, addr=addr, size=size)
     rk = state.keys.new_key(kind="rkey", owner=ctx, addr=addr, size=size)
     ctx.cluster.metrics.add(f"verbs.reg_mr.{ctx.kind}")
+    bus = ctx.cluster.bus
+    if bus is not None:
+        bus.emit("reg", "mr", ctx.trace_name, size=size,
+                 pages=pages_spanned(addr, size))
     return MemoryRegionHandle(owner=ctx, addr=addr, size=size, lkey=lk.key, rkey=rk.key)
 
 

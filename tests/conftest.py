@@ -8,6 +8,19 @@ from repro.hw import Cluster, ClusterSpec
 from repro.mpi import MpiWorld
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite the golden event-stream files under tests/golden/ "
+             "from the current run instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def regen_golden(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture
 def sim():
     from repro.sim import Simulator

@@ -1,0 +1,40 @@
+"""Differential + invariant test harness for the offload stack.
+
+Two pillars (ISSUE 2):
+
+* :mod:`tests.harness.differential` -- run the *same* communication
+  pattern through the offload framework (``gvmi`` and ``staged`` modes)
+  and through plain host MPI, and assert every rank received
+  byte-identical payloads.  The simulator models data movement with a
+  real byte-level :class:`~repro.hw.memory.AddressSpace`, so "the
+  payload arrived" is a meaningful end-to-end property, not a tautology.
+
+* trace invariants -- ``repro.obs.invariants.check_trace`` run over the
+  event streams those runs produce (every post completes, causality on
+  arrows, offloaded group windows free of host CPU, cache-hit
+  monotonicity).
+"""
+
+from tests.harness.differential import (
+    BACKENDS,
+    PATTERNS,
+    SWEEP_SIZES,
+    expected_payloads,
+    payload_for,
+    peers,
+    run_backend,
+    run_hostmpi,
+    run_offload,
+)
+
+__all__ = [
+    "BACKENDS",
+    "PATTERNS",
+    "SWEEP_SIZES",
+    "expected_payloads",
+    "payload_for",
+    "peers",
+    "run_backend",
+    "run_hostmpi",
+    "run_offload",
+]

@@ -1,6 +1,11 @@
-"""Unit tests for the metrics bag."""
+"""Unit tests for the metrics bag and its histogram layer."""
+
+import numpy as np
+import pytest
 
 from repro.hw import Metrics
+from repro.obs import Histogram
+from repro.obs.hist import percentile
 
 
 def test_add_and_get():
@@ -48,3 +53,124 @@ def test_report_contains_keys():
     m = Metrics()
     m.add("some.counter", 2)
     assert "some.counter" in m.report()
+
+
+def test_with_prefix_empty_prefix_returns_everything_unstripped():
+    m = Metrics()
+    m.add("nic.tx", 5)
+    m.add("flat", 1)
+    assert m.with_prefix("") == {"nic.tx": 5, "flat": 1}
+
+
+def test_with_prefix_does_not_match_partial_component():
+    m = Metrics()
+    m.add("nic.tx", 5)
+    m.add("nicolas.cage", 1)
+    assert m.with_prefix("nic") == {"tx": 5}
+
+
+def test_float_accumulation_is_exact_for_representable_values():
+    m = Metrics()
+    for _ in range(10):
+        m.add("t", 0.25)
+    assert m.get("t") == 2.5
+    m.add("t", -2.5)
+    assert m.get("t") == 0.0
+    # and tiny increments don't vanish against a large total
+    m.add("big", 1e12)
+    m.add("big", 0.5)
+    assert m.get("big") == 1e12 + 0.5
+
+
+def test_observe_and_hist():
+    m = Metrics()
+    for v in (3.0, 1.0, 2.0):
+        m.observe("lat", v)
+    h = m.hist("lat")
+    assert h.count == 3
+    assert h.min == 1.0 and h.max == 3.0 and h.mean == 2.0
+    assert h.p50 == 2.0
+    # unknown key -> an empty histogram, not a KeyError
+    assert m.hist("never").count == 0
+    assert m.hist("never").summary() == {"count": 0}
+
+
+def test_snapshot_stays_counters_only_but_full_has_both():
+    m = Metrics()
+    m.add("c", 2)
+    m.observe("lat", 1.5)
+    assert m.snapshot() == {"c": 2}
+    full = m.snapshot_full()
+    assert full["counters"] == {"c": 2}
+    assert full["histograms"]["lat"]["count"] == 1
+    assert full["histograms"]["lat"]["p99"] == 1.5
+
+
+def test_merge_adds_counters_and_concatenates_samples():
+    a, b = Metrics(), Metrics()
+    a.add("x", 1)
+    a.observe("lat", 1.0)
+    b.add("x", 2)
+    b.add("y", 5)
+    b.observe("lat", 3.0)
+    b.observe("other", 7.0)
+    assert a.merge(b) is a
+    assert a.get("x") == 3 and a.get("y") == 5
+    assert a.hist("lat").count == 2 and a.hist("lat").mean == 2.0
+    assert a.hist("other").count == 1
+    # the source bag is untouched
+    assert b.hist("lat").count == 1 and b.get("x") == 2
+
+
+def test_reset_clears_histograms_too():
+    m = Metrics()
+    m.observe("lat", 1.0)
+    m.reset()
+    assert m.hist("lat").count == 0
+
+
+def test_report_includes_histogram_lines():
+    m = Metrics()
+    m.observe("lat", 2e-6)
+    assert "p95" in m.report() and "lat" in m.report()
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy_linear(self):
+        rng = np.random.default_rng(9)
+        samples = rng.uniform(0, 1, size=137)
+        h = Histogram(samples)
+        for q in (0, 10, 50, 95, 99, 100):
+            assert h.percentile(q) == pytest.approx(
+                np.percentile(samples, q, method="linear"), rel=1e-12)
+
+    def test_single_sample(self):
+        h = Histogram([4.2])
+        assert h.p50 == h.p99 == h.min == h.max == 4.2
+
+    def test_empty_rejects_stats(self):
+        h = Histogram()
+        assert not h and len(h) == 0
+        with pytest.raises(ValueError):
+            h.p50
+        with pytest.raises(ValueError):
+            h.mean
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0]).percentile(101)
+
+    def test_observe_after_percentile_resorts(self):
+        h = Histogram([5.0, 1.0])
+        assert h.p50 == 3.0
+        h.observe(0.0)  # must invalidate the sorted view
+        assert h.min == 0.0 and h.p50 == 1.0
+
+    def test_merge_returns_self_and_totals(self):
+        a, b = Histogram([1.0]), Histogram([3.0, 5.0])
+        assert a.merge(b) is a
+        assert a.count == 3 and a.total == 9.0
+
+    def test_percentile_function_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)

@@ -1,0 +1,117 @@
+"""Unit tests for the observability core: bus, filters, exporters."""
+
+import json
+
+from repro.hw import Cluster, ClusterSpec
+from repro.hw.trace import Tracer
+from repro.obs import (
+    EventBus,
+    ObsEvent,
+    chrome_trace,
+    metrics_snapshot,
+    observe_cluster,
+    render_timeline,
+)
+from repro.obs.events import CATEGORIES
+from repro.obs.export import sort_entities
+
+
+class TestObsEvent:
+    def test_args_are_sorted_and_hashable(self):
+        ev = ObsEvent(time=1.0, seq=0, cat="req", name="post", entity="host0",
+                      args=(("rid", 3), ("size", 64)))
+        assert ev.arg("rid") == 3
+        assert ev.arg("nope", "dflt") == "dflt"
+        assert ev.argdict() == {"rid": 3, "size": 64}
+        hash(ev)  # frozen + tuple args -> usable in sets
+
+    def test_label_is_compact(self):
+        ev = ObsEvent(time=2e-6, seq=0, cat="ctrl", name="post",
+                      entity="node1", args=(("kind", "rts"),))
+        assert "ctrl.post" in ev.label() and "kind=rts" in ev.label()
+
+
+class TestEventBus:
+    def test_emit_without_sim_uses_time_zero(self):
+        bus = EventBus()
+        ev = bus.emit("req", "post", "host0", rid=1)
+        assert ev.time == 0.0 and ev.seq == 0
+        assert len(bus) == 1 and list(bus) == [ev]
+
+    def test_category_filter_drops_at_emit_site(self):
+        bus = EventBus(categories=("req",))
+        assert bus.emit("ctrl", "post", "node0", cid=0) is None
+        assert bus.emit("req", "post", "host0", rid=1) is not None
+        assert bus.count() == 1
+
+    def test_event_args_may_shadow_positional_names(self):
+        bus = EventBus()
+        ev = bus.emit("proc", "start", "sim", name="worker", cat="x",
+                      entity="y")
+        assert ev.name == "start" and ev.arg("name") == "worker"
+
+    def test_select_by_args_and_missing_key(self):
+        bus = EventBus()
+        bus.emit("cache", "hit", "host0", cache="a")
+        bus.emit("cache", "hit", "host1", cache="b")
+        assert len(bus.select(cat="cache", cache="a")) == 1
+        # an event lacking the filter key never matches (even vs None)
+        assert bus.select(cat="cache", missing_key=None) == []
+
+    def test_subscribe_sees_accepted_events_only(self):
+        bus = EventBus(categories=("req",))
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("ctrl", "post", "node0", cid=0)
+        bus.emit("req", "post", "host0", rid=1)
+        assert [ev.cat for ev in seen] == ["req"]
+
+    def test_render_and_clear(self):
+        bus = EventBus()
+        assert bus.render() == "(no events)"
+        for i in range(5):
+            bus.emit("wqe", "post", "node0", size=i)
+        assert "... (3 more)" in bus.render(limit=2)
+        bus.clear()
+        assert len(bus) == 0
+
+    def test_unknown_category_is_accepted(self):
+        # forward compatibility: the vocabulary is advisory
+        assert "sim" in CATEGORIES
+        assert EventBus().emit("experimental", "x", "sim") is not None
+
+
+class TestExporterEdges:
+    def test_sort_entities_orders_kinds_then_index(self):
+        assert sort_entities(["node1", "dpu0", "host10", "host2",
+                              "fabric0", "sim"]) == \
+            ["host2", "host10", "dpu0", "node1", "fabric0", "sim"]
+
+    def test_chrome_trace_of_empty_run_is_valid(self):
+        doc = chrome_trace(bus=EventBus(), tracer=Tracer())
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        json.dumps(doc)
+
+    def test_timeline_fallbacks(self):
+        assert render_timeline(None) == "(no tracer attached)"
+        assert render_timeline(Tracer()) == "(empty trace)"
+
+    def test_metrics_snapshot_accepts_bare_metrics(self):
+        from repro.hw import Metrics
+
+        m = Metrics()
+        m.add("k", 2)
+        snap = metrics_snapshot(m)
+        assert snap["counters"] == {"k": 2}
+        assert "sim_time" not in snap and "spec" not in snap
+
+    def test_observe_cluster_attaches_everything(self):
+        cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+        obs = observe_cluster(cl)
+        assert cl.bus is obs.bus and cl.sim.bus is obs.bus
+        assert cl.fabric.bus is obs.bus
+        assert all(n.hca.bus is obs.bus for n in cl.nodes)
+        snap = obs.metrics_snapshot()
+        assert snap["spec"]["nodes"] == 2
+        assert snap["sim_time"] == 0.0
+        obs.check()  # empty stream has no violations

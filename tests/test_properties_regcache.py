@@ -1,0 +1,160 @@
+"""Property-based tests: registration caches vs dict+interval models.
+
+The paper's Section VII-B caches (the exact-match host IB cache and the
+array-of-BST GVMI caches) both promise production registration-cache
+semantics: a request is a **hit** iff some cached registration's
+``[base, base+length)`` interval covers the requested ``[addr,
+addr+size)``.  Hypothesis drives random op sequences through the real
+caches (running on a real simulated process, so lookup/registration
+costs are charged) and checks every hit/miss decision against a
+simulator-free dict+interval reference model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import run_proc
+from repro.hw import Cluster, ClusterSpec
+from repro.mpi import MpiWorld
+from repro.mpi.regcache import RegistrationCache
+from repro.offload.gvmi_cache import HostGvmiCache
+from repro.verbs.gvmi import gvmi_id_of
+
+# Small offset universe (into one allocated arena) so random ops
+# actually collide and cover each other.
+_OFFS = st.integers(0, 7).map(lambda i: i * 256)
+_SIZES = st.sampled_from([64, 256, 512, 1024])
+_ARENA = 8 * 256 + 1024
+
+
+def _covered(model: dict, addr: int, size: int) -> bool:
+    return any(base <= addr and addr + size <= base + length
+               for base, length in model)
+
+
+class _IntervalModel:
+    """Reference: set of registered intervals with covering lookups."""
+
+    def __init__(self):
+        self.entries: set[tuple[int, int]] = set()
+
+    def get(self, addr: int, size: int) -> bool:
+        """True on hit; registers (addr, size) on miss."""
+        if _covered(self.entries, addr, size):
+            return True
+        self.entries.add((addr, size))
+        return False
+
+    def invalidate(self, addr: int, size: int) -> bool:
+        try:
+            self.entries.remove((addr, size))
+            return True
+        except KeyError:
+            return False
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.sampled_from(["get", "get", "get", "invalidate"]),
+              _OFFS, _SIZES),
+    min_size=1, max_size=30,
+))
+def test_host_regcache_matches_interval_model(ops):
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+    ctx = MpiWorld(cl).runtime(0).ctx
+    arena = ctx.space.alloc(_ARENA)
+    ops = [(op, arena + off, size) for op, off, size in ops]
+    cache = RegistrationCache(ctx, name="prop")
+    model = _IntervalModel()
+
+    def prog():
+        decisions = []
+        for op, addr, size in ops:
+            if op == "get":
+                before = cache.hits
+                handle = yield from cache.get(addr, size)
+                hit = cache.hits > before
+                # the returned registration must cover the request
+                assert handle.addr <= addr
+                assert addr + size <= handle.addr + handle.size
+                decisions.append(("get", hit))
+            else:
+                decisions.append(("invalidate", cache.invalidate(addr, size)))
+        return decisions
+
+    decisions = run_proc(cl, prog())
+    expected = [("get", model.get(a, s)) if op == "get"
+                else ("invalidate", model.invalidate(a, s))
+                for op, a, s in ops]
+    assert decisions == expected
+    assert len(cache) == len(model.entries)
+    assert cache.hits + cache.misses == sum(1 for op, *_ in ops if op == "get")
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.integers(0, 1), _OFFS, _SIZES),
+    min_size=1, max_size=25,
+))
+def test_host_gvmi_cache_matches_array_of_interval_models(ops):
+    """The array-of-BST cache behaves as one interval model *per proxy*
+    (requests under different GVMIs never alias)."""
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=2))
+    ctx = MpiWorld(cl).runtime(0).ctx
+    arena = ctx.space.alloc(_ARENA)
+    ops = [(which, arena + off, size) for which, off, size in ops]
+    cache = HostGvmiCache(ctx)
+    proxies = [cl.proxies[0], cl.proxies[1]]
+    models = [_IntervalModel(), _IntervalModel()]
+
+    def prog():
+        decisions = []
+        for which, addr, size in ops:
+            proxy = proxies[which]
+            before = cache.hits
+            info = yield from cache.get(proxy, gvmi_id_of(proxy), addr, size)
+            assert info.gvmi_id == gvmi_id_of(proxy)
+            decisions.append(cache.hits > before)
+        return decisions
+
+    decisions = run_proc(cl, prog())
+    expected = [models[which].get(addr, size) for which, addr, size in ops]
+    assert decisions == expected
+    assert cache.entries == sum(len(m.entries) for m in models)
+    cache.check_invariants()  # the underlying AVL trees stayed legal
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(st.tuples(_OFFS, _SIZES), min_size=1, max_size=20),
+       drop=st.integers(0, 19))
+def test_regcache_invalidate_then_reregister(ops, drop):
+    """Invalidating an entry forces exactly the misses the model predicts
+    when the same sequence replays."""
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+    ctx = MpiWorld(cl).runtime(0).ctx
+    arena = ctx.space.alloc(_ARENA)
+    ops = [(arena + off, size) for off, size in ops]
+    cache = RegistrationCache(ctx, name="prop2")
+    model = _IntervalModel()
+
+    victim = ops[drop % len(ops)]
+
+    def prog():
+        for addr, size in ops:
+            yield from cache.get(addr, size)
+        cache.invalidate(*victim)
+        decisions = []
+        for addr, size in ops:
+            before = cache.hits
+            yield from cache.get(addr, size)
+            decisions.append(cache.hits > before)
+        return decisions
+
+    decisions = run_proc(cl, prog())
+    for addr, size in ops:
+        model.get(addr, size)
+    model.invalidate(*victim)
+    expected = [model.get(addr, size) for addr, size in ops]
+    assert decisions == expected
