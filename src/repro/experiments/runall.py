@@ -23,6 +23,7 @@ import traceback
 from pathlib import Path
 
 from repro.experiments import ALL_FIGURES
+from repro.hw import memory as hw_memory
 
 __all__ = ["main", "run_figures", "run_one"]
 
@@ -31,9 +32,13 @@ def run_one(name: str, scale: str = "quick"):
     """Run one figure module; returns ``(figure, None)`` or ``(None, exc)``."""
     try:
         module = importlib.import_module(f"repro.experiments.{name}")
+        hw_memory.reset_peak_stats()
         t0 = time.time()
         fig = module.run(scale=scale)
         fig.config.setdefault("wall_seconds", round(time.time() - t0, 1))
+        # Peak resident bytes per side across every cluster this figure
+        # built -- the memory-footprint row of the snapshot artifact.
+        fig.metrics.setdefault("peak_resident_bytes", hw_memory.peak_stats())
         return fig, None
     except Exception as exc:  # noqa: BLE001 - batch runner must keep going
         return None, exc

@@ -17,10 +17,50 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["PAGE_SIZE", "pages_spanned", "AddressSpace"]
+__all__ = [
+    "PAGE_SIZE",
+    "pages_spanned",
+    "AddressSpace",
+    "OutOfMemoryError",
+    "reset_peak_stats",
+    "peak_stats",
+]
 
 #: Virtual-memory page size assumed by the registration cost model.
 PAGE_SIZE = 4096
+
+#: Peak resident bytes observed per process kind since the last
+#: :func:`reset_peak_stats` (experiments record this per figure).
+_PEAK_RESIDENT: dict[str, int] = {"host": 0, "dpu": 0}
+
+
+def reset_peak_stats() -> None:
+    """Zero the module-wide peak-resident-bytes tracker."""
+    _PEAK_RESIDENT["host"] = 0
+    _PEAK_RESIDENT["dpu"] = 0
+
+
+def peak_stats() -> dict[str, int]:
+    """Peak resident bytes per process kind since the last reset."""
+    return dict(_PEAK_RESIDENT)
+
+
+class OutOfMemoryError(MemoryError):
+    """An allocation would exceed the address space's byte budget.
+
+    Carries enough context for graceful degradation decisions (the
+    proxy falls back to the host path when DPU DRAM is exhausted).
+    """
+
+    def __init__(self, owner: str, requested: int, resident: int, budget: int):
+        self.owner = owner
+        self.requested = requested
+        self.resident = resident
+        self.budget = budget
+        super().__init__(
+            f"{owner}: allocation of {requested} bytes exceeds budget "
+            f"({resident}/{budget} bytes resident)"
+        )
 
 
 def pages_spanned(addr: int, size: int) -> int:
@@ -36,38 +76,78 @@ class AddressSpace:
     """A bump-allocated virtual address space with NumPy-backed buffers.
 
     ``alloc`` returns an integer address; ``read``/``write`` move real
-    bytes.  Freeing is supported but the allocator never reuses
-    addresses -- exactly what a registration cache wants (a given
+    bytes.  Freeing is supported but by default the allocator never
+    reuses addresses -- exactly what a registration cache wants (a given
     ``(addr, size)`` always refers to the same logical buffer for the
-    lifetime of the run, unless the test deliberately frees and
-    re-allocates to exercise invalidation).
+    lifetime of the run).  With ``reuse=True`` freed blocks are recycled
+    LIFO per size class, so free + same-size alloc hands back the *same*
+    address -- the buffer-reuse pattern that makes stale-mkey
+    invalidation observable.
+
+    With ``budget`` set, ``alloc`` raises :class:`OutOfMemoryError`
+    once resident bytes would exceed it.  ``epoch`` is bumped on every
+    ``free``; registrations stamp the epoch they were minted under so
+    stale keys are detectable after the range is recycled.
     """
 
     #: Allocations are aligned to this many bytes (page-aligned keeps the
     #: page math honest).
     ALIGN = 64
 
-    def __init__(self, owner: str = "?"):
+    def __init__(
+        self,
+        owner: str = "?",
+        kind: Optional[str] = None,
+        budget: Optional[int] = None,
+        reuse: bool = False,
+    ):
         self.owner = owner
+        #: "host" / "dpu" (feeds the peak-resident tracker); None for
+        #: standalone spaces built in unit tests.
+        self.kind = kind
+        #: Byte budget; None = unbounded.
+        self.budget = budget
+        self.reuse = reuse
         self._next = PAGE_SIZE  # never hand out address 0
         self._buffers: dict[int, np.ndarray] = {}
         self._sizes: dict[int, int] = {}
+        #: Freed blocks by aligned step size, popped LIFO when
+        #: ``reuse`` is on.
+        self._free_blocks: dict[int, list[int]] = {}
         #: Total bytes currently allocated (diagnostics).
         self.allocated_bytes = 0
+        #: High-water mark of ``allocated_bytes``.
+        self.peak_bytes = 0
+        #: Bumped on every ``free``: registrations minted before the
+        #: bump are suspect once their range is recycled.
+        self.epoch = 0
 
     def alloc(self, size: int, fill: Optional[int] = None) -> int:
         """Allocate ``size`` bytes, returning the base address."""
         if size <= 0:
             raise ValueError(f"allocation size must be positive, got {size}")
-        addr = self._next
+        if self.budget is not None and self.allocated_bytes + size > self.budget:
+            raise OutOfMemoryError(
+                self.owner, size, self.allocated_bytes, self.budget
+            )
         step = (size + self.ALIGN - 1) // self.ALIGN * self.ALIGN
-        self._next += step
+        bucket = self._free_blocks.get(step)
+        if self.reuse and bucket:
+            addr = bucket.pop()
+        else:
+            addr = self._next
+            self._next += step
         buf = np.zeros(size, dtype=np.uint8)
         if fill is not None:
             buf[:] = fill
         self._buffers[addr] = buf
         self._sizes[addr] = size
         self.allocated_bytes += size
+        if self.allocated_bytes > self.peak_bytes:
+            self.peak_bytes = self.allocated_bytes
+            if self.kind in _PEAK_RESIDENT:
+                if self.peak_bytes > _PEAK_RESIDENT[self.kind]:
+                    _PEAK_RESIDENT[self.kind] = self.peak_bytes
         return addr
 
     def alloc_like(self, array: np.ndarray) -> int:
@@ -80,9 +160,14 @@ class AddressSpace:
     def free(self, addr: int) -> None:
         if addr not in self._buffers:
             raise KeyError(f"{self.owner}: free of unknown address {addr:#x}")
-        self.allocated_bytes -= self._sizes[addr]
+        size = self._sizes[addr]
+        self.allocated_bytes -= size
         del self._buffers[addr]
         del self._sizes[addr]
+        self.epoch += 1
+        if self.reuse:
+            step = (size + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+            self._free_blocks.setdefault(step, []).append(addr)
 
     def size_of(self, addr: int) -> int:
         return self._sizes[addr]

@@ -42,8 +42,21 @@ class ProcessContext:
         self.global_id = global_id
         #: Index within this node (local rank / local proxy index).
         self.local_id = local_id
-        self.space = AddressSpace(owner=f"{kind}{global_id}@n{node_id}")
+        params = cluster.params
+        budget = (
+            params.host_mem_budget if kind == "host" else params.dpu_mem_budget
+        )
+        self.space = AddressSpace(
+            owner=f"{kind}{global_id}@n{node_id}",
+            kind=kind,
+            budget=budget,
+            reuse=params.reuse_freed_addresses,
+        )
         self.inbox: Store = Store(cluster.sim)
+        #: Callbacks ``(addr, size)`` invoked by :meth:`free` after the
+        #: range is released and covering keys are revoked -- caches
+        #: register here to drop entries over freed memory.
+        self.free_listeners: list = []
         #: Cumulative busy time this process has charged to its core
         #: (diagnostics; incremented by :meth:`consume`).
         self.busy_time = 0.0
@@ -69,6 +82,41 @@ class ProcessContext:
         if tracer is not None and seconds > 0:
             tracer.record_span(self.trace_name, self.sim.now, self.sim.now + seconds)
         return self.sim.timeout(seconds)
+
+    def free(self, addr: int) -> list:
+        """Free ``addr`` and run the invalidation protocol.
+
+        Revokes every registered key covering the range (so later use of
+        a cached key raises ``ProtectionError`` instead of silently
+        addressing recycled memory), bumps the space's registration
+        epoch, and notifies ``free_listeners`` so caches drop their
+        entries.  Returns the revoked :class:`~repro.verbs.mr.KeyInfo`
+        records.  Plain call (no simulated time).
+        """
+        size = self.space.size_of(addr)
+        self.space.free(addr)
+        revoked = []
+        state = getattr(self.cluster, "_verbs", None)
+        if state is not None:
+            revoked = state.keys.revoke_covering(self, addr, size)
+        metrics = self.cluster.metrics
+        metrics.add("mem.frees")
+        if revoked:
+            metrics.add("verbs.revoked_keys", len(revoked))
+        bus = self.cluster.bus
+        if bus is not None:
+            bus.emit(
+                "mem", "free", self.trace_name,
+                addr=addr, size=size, epoch=self.space.epoch,
+            )
+            for info in revoked:
+                bus.emit(
+                    "reg", "revoke", self.trace_name,
+                    key=info.key, kind=info.kind, size=info.size,
+                )
+        for listener in list(self.free_listeners):
+            listener(addr, size)
+        return revoked
 
     @property
     def trace_name(self) -> str:

@@ -22,6 +22,7 @@ Calibration targets (paper Section II):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 __all__ = ["MachineParams", "ClusterSpec"]
 
@@ -124,6 +125,42 @@ class MachineParams:
     eager_threshold: int = 16 * 1024
     #: CPU copy bandwidth for eager copy-in/copy-out.
     copy_bandwidth: float = 11.0e9
+
+    # ----- resource governance (docs/RESOURCES.md) -----------------------
+    # All default to None / False = unbounded, byte-identical to the
+    # pre-governance behaviour.  Budgets are bytes; capacities are entry
+    # counts.
+    #: Byte budget of each host rank's address space (None = unbounded).
+    host_mem_budget: Optional[int] = None
+    #: Byte budget of each DPU proxy's address space.  BlueField DRAM is
+    #: the scarce resource the paper's caches exist to conserve.
+    dpu_mem_budget: Optional[int] = None
+    #: Opt-in: freed blocks are recycled LIFO per size class, so a
+    #: free + same-size alloc returns the *same* address -- the
+    #: buffer-reuse pattern that exercises stale-mkey invalidation.
+    #: Off by default: the bump allocator's never-reuse property is what
+    #: keeps registration-cache keys unambiguous in clean runs.
+    reuse_freed_addresses: bool = False
+    #: Max entries in each host IB registration cache (LRU evicts with a
+    #: real dereg_mr, reclaiming KeyTable entries).
+    ib_cache_capacity: Optional[int] = None
+    #: Max entries in each GVMI registration cache (host mkey cache and
+    #: DPU mkey2 cache; LRU eviction revokes the evicted key).
+    gvmi_cache_capacity: Optional[int] = None
+    #: Max prepared plans in each host-side group request cache.
+    group_cache_capacity: Optional[int] = None
+    #: Max plans in each proxy's DPU plan cache.  Eviction recovery runs
+    #: through the plan_nack path, so a bounded plan cache requires
+    #: resilient mode (see docs/RESOURCES.md).
+    plan_cache_capacity: Optional[int] = None
+    #: Admission window: max incomplete offload requests per endpoint;
+    #: further posts block (in simulated time) until one completes.
+    max_outstanding_offloads: Optional[int] = None
+    #: Max incomplete one-sided SHMEM ops per PE before put/get blocks.
+    shmem_queue_depth: Optional[int] = None
+    #: Completion-queue depth for QueuePairs: more than this many
+    #: unpolled completions overflows the CQ (fatal, as on hardware).
+    cq_depth: Optional[int] = None
 
     # ----- compute -------------------------------------------------------
     #: Host double-precision throughput per core (Broadwell ~ 2.4 GHz

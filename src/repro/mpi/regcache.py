@@ -15,20 +15,39 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.hw.node import ProcessContext
-from repro.verbs.mr import MemoryRegionHandle, reg_mr
+from repro.verbs.mr import MemoryRegionHandle, dereg_mr, reg_mr
 
 __all__ = ["RegistrationCache"]
 
 
 class RegistrationCache:
-    """Exact-match ``(addr, size)`` -> registration handle cache."""
+    """Exact-match ``(addr, size)`` -> registration handle cache.
 
-    def __init__(self, ctx: ProcessContext, name: str = "ib"):
+    With a ``capacity`` (entry count; default
+    ``params.ib_cache_capacity``) the cache evicts least-recently-used
+    entries, deregistering the evicted handle so its KeyTable entries
+    are reclaimed.  Entries over freed memory are dropped (without
+    dereg -- the free protocol already revoked the keys) via a
+    ``free_listeners`` hook on the owning context.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        name: str = "ib",
+        capacity: Optional[int] = None,
+    ):
         self.ctx = ctx
         self.name = name
+        if capacity is None:
+            capacity = ctx.cluster.params.ib_cache_capacity
+        self.capacity = capacity
+        #: Insertion order is LRU order (refreshed on every hit).
         self._entries: dict[tuple[int, int], MemoryRegionHandle] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        ctx.free_listeners.append(self._on_free)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,13 +75,17 @@ class RegistrationCache:
         )
         yield self.ctx.consume(lookup)
         metrics = self.ctx.cluster.metrics
-        entry = self._entries.get((addr, size))
+        key = (addr, size)
+        entry = self._entries.get(key)
         if entry is None:
-            entry = self._find_covering(addr, size)
+            key, entry = self._find_covering(addr, size)
         bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
             metrics.add(f"regcache.{self.name}.hit")
+            # Refresh LRU position.
+            del self._entries[key]
+            self._entries[key] = entry
             if bus is not None:
                 bus.emit("cache", "hit", self.ctx.trace_name,
                          cache=f"regcache.{self.name}", size=size)
@@ -74,17 +97,50 @@ class RegistrationCache:
                      cache=f"regcache.{self.name}", size=size)
         handle = yield from reg_mr(self.ctx, addr, size)
         self._entries[(addr, size)] = handle
+        self._evict_over_capacity()
         return handle
 
-    def _find_covering(self, addr: int, size: int) -> Optional[MemoryRegionHandle]:
+    def _find_covering(self, addr: int, size: int):
         for (base, length), handle in self._entries.items():
             if base <= addr and addr + size <= base + length:
-                return handle
-        return None
+                return (base, length), handle
+        return None, None
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        metrics = self.ctx.cluster.metrics
+        bus = self.ctx.cluster.bus
+        while len(self._entries) > self.capacity:
+            victim_key = next(iter(self._entries))
+            handle = self._entries.pop(victim_key)
+            dereg_mr(self.ctx, handle)
+            self.evictions += 1
+            metrics.add(f"regcache.{self.name}.evict")
+            if bus is not None:
+                bus.emit("cache", "evict", self.ctx.trace_name,
+                         cache=f"regcache.{self.name}", size=victim_key[1])
 
     def invalidate(self, addr: int, size: int) -> bool:
         """Drop one entry (e.g. after a free); True if it existed."""
         return self._entries.pop((addr, size), None) is not None
+
+    def invalidate_range(self, addr: int, size: int) -> int:
+        """Drop every entry overlapping [addr, addr+size).
+
+        No dereg: this runs from the free protocol, which has already
+        revoked the covering keys.
+        """
+        doomed = [
+            k for k in self._entries
+            if k[0] < addr + size and addr < k[0] + k[1]
+        ]
+        for k in doomed:
+            del self._entries[k]
+        return len(doomed)
+
+    def _on_free(self, addr: int, size: int) -> None:
+        self.invalidate_range(addr, size)
 
     def clear(self) -> None:
         self._entries.clear()

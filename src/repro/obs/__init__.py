@@ -83,6 +83,10 @@ class Observability:
         return metrics_snapshot(self.cluster, extra=extra)
 
     def check(self, **kw) -> None:
+        if "keys" not in kw:
+            state = getattr(self.cluster, "_verbs", None)
+            if state is not None:
+                kw["keys"] = state.keys
         check_trace(self.bus, tracer=self.tracer, **kw)
 
 
@@ -96,4 +100,11 @@ def observe_cluster(cluster, categories=None) -> Observability:
 
     bus = EventBus.attach(cluster, categories=categories)
     tracer = Tracer.attach(cluster)
+    # Arm use/revoke logging on the cluster-wide key table so the
+    # no-use-after-revoke invariant has data to check against.  The
+    # verbs state is created eagerly here (it is pure bookkeeping) so
+    # arming works even before the first registration.
+    from repro.verbs.rdma import verbs_state
+
+    verbs_state(cluster).keys.record_uses(lambda: cluster.sim.now)
     return Observability(cluster, bus, tracer)

@@ -24,13 +24,14 @@ proc       start, end
 wqe        post
 xfer       post, deliver, complete
 ctrl       post, deliver, drop
-reg        mr, mkey, mkey2
-cache      hit, miss, stale       (args name the cache)
-req        post, complete, retransmit, fallback
-group      call, offloaded, launch, replay, done
-proxy      start, kill, restart, pair, fin
+reg        mr, mkey, mkey2, revoke, stale_use
+cache      hit, miss, stale, evict   (args name the cache)
+req        post, complete, retransmit, fallback, stall, repost
+group      call, offloaded, launch, replay, done, rebuild
+proxy      start, kill, restart, pair, fin, degrade
 mpi        isend, complete
-fault      inject
+mem        free, oom
+fault      inject, cq_overflow
 =========  ==========================================================
 
 ``entity`` identifies the emitting lane and matches the Tracer's lane
@@ -50,7 +51,7 @@ __all__ = ["ObsEvent", "EventBus", "CATEGORIES"]
 #: this vocabulary.
 CATEGORIES = (
     "sim", "proc", "wqe", "xfer", "ctrl", "reg", "cache",
-    "req", "group", "proxy", "mpi", "fault",
+    "req", "group", "proxy", "mpi", "mem", "fault",
 )
 
 

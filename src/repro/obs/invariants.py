@@ -21,6 +21,12 @@ itself, straight off the :class:`~repro.obs.events.EventBus` stream
    ``mode="cached"`` for some plan signature, a later ``mode="build"``
    for the same signature is a cache regression (unless a fault event
    intervened: proxy restarts legitimately re-ship plans).
+5. **No use after revoke** -- with a :class:`~repro.verbs.mr.KeyTable`
+   passed in (armed via ``record_uses``), no WQE may have been posted
+   under an mkey at or after the instant that mkey was revoked, and no
+   surviving live key may cover memory its owner has already freed.
+   This is the teeth behind the epoch protocol in docs/RESOURCES.md: a
+   stale key must fault (and be recovered), never silently move bytes.
 
 :func:`trace_violations` returns the violations as pointed human
 messages; :func:`check_trace` raises :class:`TraceInvariantError`
@@ -185,7 +191,33 @@ def _check_plan_cache(bus, out: list[str], allow_replay_after_fault: bool) -> No
             )
 
 
-def trace_violations(bus, tracer=None, *, check_overlap: bool = True,
+def _check_keytable(keys, out: list[str]) -> None:
+    """No key used at/after its revocation; no live key over freed memory."""
+    for info in keys.live_infos():
+        if not info.owner.space.contains(info.addr, info.size):
+            out.append(
+                f"live {info.kind} key {info.key:#x} covers "
+                f"[{info.addr:#x},+{info.size}) of {info.owner.trace_name} "
+                f"but that memory was freed -- the key was never revoked"
+            )
+    log = keys.use_log
+    if not log:
+        return
+    # Scan in emission order (immune to same-timestamp ties): any use of
+    # a key after its revoke entry is a stale access that went unchecked.
+    revoked_at: dict[int, float] = {}
+    for what, t, key, kind in log:
+        if what == "revoke":
+            revoked_at.setdefault(key, t)
+        elif key in revoked_at:
+            out.append(
+                f"a WQE was posted under {kind} key {key:#x} at {_fmt_t(t)}, "
+                f"after its revocation at {_fmt_t(revoked_at[key])} -- "
+                f"stale-key detection must reject revoked registrations"
+            )
+
+
+def trace_violations(bus, tracer=None, *, keys=None, check_overlap: bool = True,
                      allow_replay_after_fault: bool = True,
                      eps: float = 1e-12) -> list[str]:
     """All invariant violations in ``bus`` (and ``tracer``), as messages."""
@@ -194,6 +226,8 @@ def trace_violations(bus, tracer=None, *, check_overlap: bool = True,
     _check_transfers(bus, out)
     _check_control(bus, out)
     _check_plan_cache(bus, out, allow_replay_after_fault)
+    if keys is not None:
+        _check_keytable(keys, out)
     if tracer is not None:
         _check_arrows(tracer, out)
         if check_overlap:
@@ -201,12 +235,13 @@ def trace_violations(bus, tracer=None, *, check_overlap: bool = True,
     return out
 
 
-def check_trace(bus, tracer=None, *, check_overlap: bool = True,
+def check_trace(bus, tracer=None, *, keys=None, check_overlap: bool = True,
                 allow_replay_after_fault: bool = True,
                 eps: float = 1e-12) -> None:
     """Raise :class:`TraceInvariantError` if any invariant is violated."""
     violations = trace_violations(
         bus, tracer,
+        keys=keys,
         check_overlap=check_overlap,
         allow_replay_after_fault=allow_replay_after_fault,
         eps=eps,

@@ -56,6 +56,26 @@ __all__ = ["OffloadFramework", "OffloadEndpoint"]
 _desc_ids = itertools.count(1)
 
 
+class _RecoverySink:
+    """Inbox adapter for proxy recovery notifications.
+
+    ``stale_nack``/``oom_nack`` control messages land here.  Each
+    arrival spawns an independent handler process, so recovery makes
+    progress even while the application computes or sits in a plain
+    (non-resilient) wait -- draining the shared endpoint inbox from
+    ``wait`` would change clean-run timing, which the golden traces
+    forbid.
+    """
+
+    def __init__(self, endpoint: "OffloadEndpoint"):
+        self.endpoint = endpoint
+
+    def put(self, item) -> None:
+        kind, info = item
+        ep = self.endpoint
+        ep.sim.process(ep._on_recovery(kind, info))
+
+
 class _CompletionSink:
     """Inbox adapter modelling the completion counter in host memory.
 
@@ -69,8 +89,20 @@ class _CompletionSink:
     def __init__(self, endpoint: "OffloadEndpoint"):
         self.endpoint = endpoint
 
-    def put(self, req_id: int) -> None:
-        self.endpoint._complete_by_id(req_id)
+    def put(self, msg) -> None:
+        if isinstance(msg, tuple):
+            req_id, call_no = msg
+            req = self.endpoint._pending.get(req_id)
+            if req is not None and getattr(req, "calls", call_no) != call_no:
+                # FIN for an earlier call of this re-used group request
+                # (a retransmit raced the next call): the live call has
+                # its own FIN coming, so this one must not complete it.
+                self.endpoint.ctx.cluster.metrics.add(
+                    "offload.stale_fins_dropped")
+                return
+            self.endpoint._complete_by_id(req_id)
+            return
+        self.endpoint._complete_by_id(msg)
 
 
 class OffloadFramework:
@@ -85,11 +117,17 @@ class OffloadFramework:
 
     def __init__(self, cluster: Cluster, mode: str = "gvmi",
                  group_caching: bool = True, gvmi_caching: bool = True,
-                 retry: Optional[RetryPolicy] = None):
+                 retry: Optional[RetryPolicy] = None,
+                 max_outstanding: Optional[int] = None):
         if mode not in ("gvmi", "staged"):
             raise OffloadError(f"unknown offload mode {mode!r}")
         self.cluster = cluster
         self.sim = cluster.sim
+        #: Admission window: max incomplete requests per endpoint before
+        #: further posts block in simulated time (None = unbounded).
+        if max_outstanding is None:
+            max_outstanding = cluster.params.max_outstanding_offloads
+        self.max_outstanding = max_outstanding
         #: "gvmi": the proposed direct cross-GVMI mechanism.
         #: "staged": bounce through DPU DRAM (the BluesMPI-style baseline).
         self.mode = mode
@@ -195,10 +233,14 @@ class OffloadEndpoint:
         #: IB registration cache for *receive* buffers (Fig 9: "receive
         #: buffers are registered using IB registration cache").
         self.ib_cache = RegistrationCache(ctx, name=f"offload_ib_{self.rank}")
-        self.group_cache = HostGroupCache()
+        self.group_cache = HostGroupCache(ctx=ctx)
+        self.max_outstanding = framework.max_outstanding
         #: Control-message inbox (remote receive descriptors).
         self.inbox = Store(self.sim)
         self.completion_sink = _CompletionSink(self)
+        #: Proxy recovery notifications (stale_nack / oom_nack) land
+        #: here and run in their own processes.
+        self.recovery_sink = _RecoverySink(self)
         #: Requests awaiting their completion write, by req_id.
         self._pending: dict[int, object] = {}
         #: Remote receive descriptors gathered for my sends, keyed by
@@ -267,11 +309,118 @@ class OffloadEndpoint:
             yield f"rank {self.rank}: offload request(s) {ids} never completed"
 
     # ------------------------------------------------------------------
+    # admission control (backpressure)
+    # ------------------------------------------------------------------
+    def _admit(self):
+        """Block (in simulated time) while the outstanding window is full.
+
+        A generator run before every post.  With resilience armed the
+        stall doubles as a mini recovery driver: it drains the inbox,
+        serves fallback offers, and nudges the oldest request with a
+        retransmit when nothing completes -- otherwise a lost control
+        message could wedge the window shut forever.
+        """
+        limit = self.max_outstanding
+        if limit is None:
+            return
+        timeout = self.retry.timeout if self.resilient else 0.0
+        while len(self._pending) >= limit:
+            events = [r.event for r in self._pending.values()
+                      if r.event is not None and not r.event.processed]
+            if not events:
+                return
+            self.ctx.cluster.metrics.add("offload.admission_stalls")
+            bus = self.ctx.cluster.bus
+            if bus is not None:
+                bus.emit("req", "stall", self.ctx.trace_name,
+                         outstanding=len(self._pending))
+            if not self.resilient:
+                yield self.sim.any_of(events)
+                continue
+            yield self.sim.any_of(events + [self.sim.timeout(timeout)])
+            yield from self._drain_inbox()
+            yield from self._try_fb_matches()
+            if len(self._pending) >= limit and not any(e.processed for e in events):
+                oldest = next(iter(self._pending.values()))
+                if not oldest.complete:
+                    yield from self._retransmit(oldest)
+                timeout = min(timeout * self.retry.backoff, self.retry.max_timeout)
+
+    # ------------------------------------------------------------------
+    # proxy recovery notifications (stale keys, memory exhaustion)
+    # ------------------------------------------------------------------
+    def _on_recovery(self, kind: str, info: dict):
+        """Handle one stale_nack / oom_nack (its own simulation process)."""
+        yield self.ctx.consume(self.params.host_handler_cost)
+        req = self._pending.get(info["req_id"])
+        if req is None or req.complete or not isinstance(req, OffloadRequest):
+            return
+        if kind == "stale_key":
+            yield from self._repost_stale(req)
+        elif kind == "oom_nack":
+            if not req.fallback:
+                self.ctx.cluster.metrics.add("offload.oom_fallbacks")
+                yield from self._engage_fallback(req)
+        else:  # pragma: no cover - defensive
+            raise OffloadError(f"endpoint: unknown recovery item {kind!r}")
+
+    def _repost_stale(self, req: OffloadRequest):
+        """The proxy faulted on one of my revoked keys: re-register and
+        re-post.
+
+        The free that revoked the keys also invalidated the host-side
+        caches (free listeners), so going back through them mints fresh
+        registrations over the buffer's current incarnation.  Requires
+        the range to be mapped again -- re-registering a still-freed
+        buffer faults loudly, which is correct: the data to send no
+        longer exists.
+        """
+        self.ctx.cluster.metrics.add("offload.stale_reposts")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("req", "repost", self.ctx.trace_name, rid=req.req_id,
+                     kind=req.kind)
+        cluster = self.framework.cluster
+        if req.kind == "send":
+            proxy = cluster.proxy_for_rank(self.rank)
+            if self.framework.mode == "gvmi":
+                gvmi = gvmi_id_of(proxy)
+                mkey = yield from self.gvmi_cache.get(proxy, gvmi, req.addr, req.size)
+                msg = ("rts", {
+                    "src": self.rank, "dst": req.peer, "tag": req.tag,
+                    "addr": req.addr, "size": req.size,
+                    "reg_addr": mkey.addr, "reg_size": mkey.size,
+                    "mkey": mkey.key, "gvmi_id": gvmi,
+                    "req_id": req.req_id,
+                })
+            else:
+                handle = yield from self.ib_cache.get(req.addr, req.size)
+                msg = ("rts", {
+                    "src": self.rank, "dst": req.peer, "tag": req.tag,
+                    "addr": req.addr, "size": req.size,
+                    "rkey": handle.rkey,
+                    "req_id": req.req_id,
+                })
+        else:
+            proxy = cluster.proxy_for_rank(req.peer)
+            handle = yield from self.ib_cache.get(req.addr, req.size)
+            msg = ("rtr", {
+                "src": req.peer, "dst": self.rank, "tag": req.tag,
+                "addr": req.addr, "size": req.size,
+                "rkey": handle.rkey,
+                "req_id": req.req_id,
+            })
+        if self.resilient:
+            req.resend = (proxy, msg)
+        yield from post_control(self.ctx, proxy, msg, kind=msg[0])
+
+    # ------------------------------------------------------------------
     # Basic primitives (Listing 2, Section VII-A)
     # ------------------------------------------------------------------
     def send_offload(self, addr: int, size: int, dst: int, tag: int):
         """``Send_Offload``: GVMI-register, RTS to my proxy; returns request."""
         yield from self._ensure_ready()
+        yield from self._admit()
         req = OffloadRequest(kind="send", rank=self.rank, peer=dst, tag=tag,
                              addr=addr, size=size)
         self._register_pending(req)
@@ -312,6 +461,7 @@ class OffloadEndpoint:
     def recv_offload(self, addr: int, size: int, src: int, tag: int):
         """``Recv_Offload``: IB-register, RTR to the *sender's* proxy."""
         yield from self._ensure_ready()
+        yield from self._admit()
         req = OffloadRequest(kind="recv", rank=self.rank, peer=src, tag=tag,
                              addr=addr, size=size)
         self._register_pending(req)
@@ -401,12 +551,16 @@ class OffloadEndpoint:
         plan = greq.resend_plan
         if plan is None:  # pragma: no cover - defensive
             raise OffloadError("group retransmit without a saved plan")
+        if greq.needs_rebuild:
+            yield from self._rebuild_group(greq)
+            return
         proxy = self.framework.cluster.proxy_for_rank(self.rank)
         if plan.sent_to_proxy and not plan.dirty:
             yield from post_control(
                 self.ctx, proxy,
                 ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
-                                "req_id": greq.req_id}),
+                                "req_id": greq.req_id,
+                                "call_no": greq.calls}),
                 kind="group_call",
             )
             return
@@ -415,6 +569,49 @@ class OffloadEndpoint:
             "host_rank": self.rank,
             "entries": plan.entries,
             "req_id": greq.req_id,
+            "call_no": greq.calls,
+        }
+        nbytes = max(
+            self.params.ctrl_bytes,
+            len(plan.entries) * self.params.group_op_bytes,
+        )
+        yield from post_control(self.ctx, proxy, ("group_plan", packet),
+                                size=nbytes, kind="group_plan")
+        plan.sent_to_proxy = True
+        plan.dirty = False
+
+    def _rebuild_group(self, greq: OffloadGroupRequest) -> None:
+        """Stale-plan recovery: rebuild from scratch and ship the result.
+
+        The proxy faulted on a revoked key inside the plan, so the saved
+        entries are poison -- re-shipping them would fault again.  A
+        full rebuild runs the registrations back through the (since-
+        invalidated) caches and redoes the descriptor exchange; the
+        ``desc_id`` dedupe set is cleared first so peers' replayed
+        descriptors are accepted afresh.
+        """
+        greq.needs_rebuild = False
+        self.ctx.cluster.metrics.add("offload.group_rebuilds")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("group", "rebuild", self.ctx.trace_name, call=greq.req_id)
+        self._gdesc_seen.clear()
+        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        entries = yield from self._build_entries(greq, proxy)
+        if self.framework.group_caching:
+            plan = self.group_cache.insert(greq.signature(), entries)
+        else:
+            from repro.offload.group_cache import HostPlan, _plan_ids
+
+            plan = HostPlan(plan_id=next(_plan_ids), signature=greq.signature(),
+                            entries=entries)
+        greq.resend_plan = plan
+        packet = {
+            "plan_id": plan.plan_id,
+            "host_rank": self.rank,
+            "entries": plan.entries,
+            "req_id": greq.req_id,
+            "call_no": greq.calls,
         }
         nbytes = max(
             self.params.ctrl_bytes,
@@ -584,6 +781,7 @@ class OffloadEndpoint:
         Cache hit: ship only the request/plan ID.
         """
         yield from self._ensure_ready()
+        yield from self._admit()
         if greq.state == "recording":
             raise OffloadError("Group_Offload_call before Group_Offload_end")
         if greq.state == "inflight":
@@ -613,7 +811,8 @@ class OffloadEndpoint:
             yield from post_control(
                 self.ctx, proxy,
                 ("group_call", {"plan_id": plan.plan_id, "host_rank": self.rank,
-                                "req_id": greq.req_id}),
+                                "req_id": greq.req_id,
+                                "call_no": greq.calls}),
                 kind="group_call",
             )
             if bus is not None:
@@ -645,6 +844,7 @@ class OffloadEndpoint:
             "host_rank": self.rank,
             "entries": plan.entries,
             "req_id": greq.req_id,
+            "call_no": greq.calls,
         }
         nbytes = max(
             self.params.ctrl_bytes,
@@ -814,12 +1014,26 @@ class OffloadEndpoint:
         elif kind == "plan_nack":
             info = item[1]
             self.ctx.cluster.metrics.add("offload.plan_nacks")
-            self.group_cache.invalidate(info["plan_id"])
+            stale = info.get("stale", False)
+            if stale:
+                # The proxy faulted on a revoked key: the saved entries
+                # are poison, drop the plan entirely and force a full
+                # rebuild on the next retransmit.
+                self.group_cache.drop_plan(info["plan_id"])
+            else:
+                self.group_cache.invalidate(info["plan_id"])
             req = self._pending.get(info["req_id"])
+            call_no = info.get("call_no")
+            if (req is not None and call_no is not None
+                    and getattr(req, "calls", call_no) != call_no):
+                # NACK for a superseded call of this re-used request.
+                return
             plan = getattr(req, "resend_plan", None)
             if plan is not None and plan.plan_id == info["plan_id"]:
                 plan.sent_to_proxy = False
                 plan.dirty = True
+                if stale:
+                    req.needs_rebuild = True
         elif kind == "fb_rts":
             self._fb_rts.append(item[1])
         else:  # pragma: no cover - defensive

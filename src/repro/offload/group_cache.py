@@ -44,17 +44,34 @@ class HostPlan:
 
 
 class HostGroupCache:
-    """Per-endpoint cache of prepared group plans."""
+    """Per-endpoint cache of prepared group plans.
 
-    def __init__(self) -> None:
+    With a ``capacity`` the least-recently-called plan is dropped on
+    overflow (plans hold no registrations of their own -- the keys live
+    in the GVMI/IB caches -- so dropping is free); a later call on its
+    pattern simply rebuilds.  Plans whose entries reference a freed
+    local buffer are dropped via the owning context's free listeners.
+    """
+
+    def __init__(self, ctx=None, capacity: Optional[int] = None) -> None:
+        self.ctx = ctx
+        if capacity is None and ctx is not None:
+            capacity = ctx.cluster.params.group_cache_capacity
+        self.capacity = capacity
+        #: Insertion order is LRU order (refreshed on lookup hits).
         self._by_sig: dict[tuple, HostPlan] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if ctx is not None:
+            ctx.free_listeners.append(self._on_free)
 
     def lookup(self, signature: tuple) -> Optional[HostPlan]:
         plan = self._by_sig.get(signature)
         if plan is not None:
             self.hits += 1
+            del self._by_sig[signature]
+            self._by_sig[signature] = plan
         else:
             self.misses += 1
         return plan
@@ -62,7 +79,52 @@ class HostGroupCache:
     def insert(self, signature: tuple, entries: list[dict]) -> HostPlan:
         plan = HostPlan(plan_id=next(_plan_ids), signature=signature, entries=entries)
         self._by_sig[signature] = plan
+        self._evict_over_capacity()
         return plan
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        while len(self._by_sig) > self.capacity:
+            sig = next(iter(self._by_sig))
+            victim = self._by_sig.pop(sig)
+            self.evictions += 1
+            if self.ctx is not None:
+                cluster = self.ctx.cluster
+                cluster.metrics.add("offload.group_cache_evictions")
+                if cluster.bus is not None:
+                    cluster.bus.emit(
+                        "cache", "evict", self.ctx.trace_name,
+                        cache="group.host", plan=victim.plan_id,
+                    )
+
+    def drop_plan(self, plan_id: int) -> bool:
+        """Remove a plan entirely (stale-plan recovery); True if found."""
+        for sig, plan in list(self._by_sig.items()):
+            if plan.plan_id == plan_id:
+                del self._by_sig[sig]
+                return True
+        return False
+
+    def drop_range(self, addr: int, size: int) -> int:
+        """Drop plans whose entries touch local range [addr, addr+size)."""
+        doomed = [
+            sig
+            for sig, plan in self._by_sig.items()
+            if any(
+                e.get("addr") is not None
+                and e["addr"] < addr + size
+                and addr < e["addr"] + e["size"]
+                for e in plan.entries
+                if e["kind"] in ("send", "recv")
+            )
+        ]
+        for sig in doomed:
+            del self._by_sig[sig]
+        return len(doomed)
+
+    def _on_free(self, addr: int, size: int) -> None:
+        self.drop_range(addr, size)
 
     def patch_descriptor(self, src_rank: int, tag: int, dst_rank: int, desc: dict) -> int:
         """Apply an updated remote receive descriptor to cached plans.
@@ -106,23 +168,59 @@ class HostGroupCache:
 
 
 class DpuPlanCache:
-    """Per-proxy cache: plan_id -> prepared Group_op queue."""
+    """Per-proxy cache: plan_id -> prepared Group_op queue.
 
-    def __init__(self) -> None:
+    With a ``capacity`` the least-recently-fetched plan is dropped on
+    overflow.  A host calling an evicted plan by ID gets a plan_nack
+    and re-ships the full entries -- which is why a bounded plan cache
+    requires resilient mode (docs/RESOURCES.md).
+    """
+
+    def __init__(self, ctx=None, capacity: Optional[int] = None) -> None:
+        self.ctx = ctx
+        if capacity is None and ctx is not None:
+            capacity = ctx.cluster.params.plan_cache_capacity
+        self.capacity = capacity
+        #: Insertion order is LRU order (refreshed on fetch/store).
         self._plans: dict[int, dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def store(self, plan_id: int, plan: dict[str, Any]) -> None:
+        self._plans.pop(plan_id, None)
         self._plans[plan_id] = plan
+        self._evict_over_capacity()
 
     def fetch(self, plan_id: int) -> Optional[dict[str, Any]]:
         plan = self._plans.get(plan_id)
         if plan is not None:
             self.hits += 1
+            del self._plans[plan_id]
+            self._plans[plan_id] = plan
         else:
             self.misses += 1
         return plan
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        while len(self._plans) > self.capacity:
+            victim_id = next(iter(self._plans))
+            del self._plans[victim_id]
+            self.evictions += 1
+            if self.ctx is not None:
+                cluster = self.ctx.cluster
+                cluster.metrics.add("proxy.plan_evictions")
+                if cluster.bus is not None:
+                    cluster.bus.emit(
+                        "cache", "evict", self.ctx.trace_name,
+                        cache="plan.dpu", plan=victim_id,
+                    )
+
+    def drop(self, plan_id: int) -> bool:
+        """Remove one plan (stale-plan recovery); True if it existed."""
+        return self._plans.pop(plan_id, None) is not None
 
     def __len__(self) -> int:
         return len(self._plans)

@@ -33,28 +33,95 @@ from typing import TYPE_CHECKING
 
 from repro.offload.proxy import PARK
 from repro.offload.requests import OffloadError
+from repro.verbs.mr import ProtectionError
 from repro.verbs.rdma import rdma_write
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.offload.proxy import ProxyEngine
 
-__all__ = ["GroupExecutor"]
+__all__ = ["GroupExecutor", "StalePlanError"]
+
+
+class StalePlanError(Exception):
+    """A plan entry faulted on a revoked key: the plan must be rebuilt."""
+
+    def __init__(self, plan_id: int, cause: ProtectionError):
+        self.plan_id = plan_id
+        self.cause = cause
+        super().__init__(f"plan {plan_id} references a revoked key: {cause}")
 
 
 class GroupExecutor:
     """One in-flight Group_Offload_packet on one proxy."""
 
-    def __init__(self, engine: "ProxyEngine", plan: dict, req_id: int, seqs: dict, cached: bool):
+    def __init__(self, engine: "ProxyEngine", plan: dict, req_id: int, seqs: dict, cached: bool,
+                 call_no: int = 1):
         self.engine = engine
         self.plan = plan
         self.req_id = req_id
         #: per host-pair sequence numbers assigned at launch.
         self.seqs = seqs
         self.cached = cached
+        #: Which Group_Offload_call of the (re-usable) request this is --
+        #: disambiguates a replay of call N from a fresh call N+1.
+        self.call_no = call_no
         self.gen = self._run()
 
     # ------------------------------------------------------------------
     def _run(self):
+        try:
+            yield from self._run_inner()
+        except StalePlanError as exc:
+            yield from self._abort_stale(exc)
+
+    def _abort_stale(self, exc: StalePlanError):
+        """Abandon this invocation: the plan touches revoked memory.
+
+        Drops the DPU copy of the plan, marks the launch record
+        replayable, and sends a ``stale``-flagged plan_nack so the host
+        rebuilds the plan from scratch (fresh registrations and
+        descriptors) instead of re-shipping the same stale entries.
+        Counter writes already issued stay valid: the relaunch replays
+        with the original sequence numbers and counter writes are
+        monotone.
+        """
+        engine = self.engine
+        host_rank = self.plan["host_rank"]
+        if not engine.resilient:
+            raise OffloadError(
+                f"group plan {self.plan['plan_id']} of host {host_rank} "
+                f"references a revoked registration: {exc.cause}"
+            ) from exc.cause
+        ctx = engine.ctx
+        ctx.cluster.metrics.add("proxy.stale_plans")
+        bus = ctx.cluster.bus
+        if bus is not None:
+            bus.emit("reg", "stale_use", ctx.trace_name,
+                     plan=self.plan["plan_id"], call=self.req_id)
+        rec = engine._group_launches.get(self.req_id)
+        if rec is not None:
+            # Not done, and no incarnation owns it: the retransmitted
+            # call relaunches with the ORIGINAL sequence numbers.
+            rec["incarnation"] = None
+        engine.plan_cache.drop(self.plan["plan_id"])
+        ep = engine.framework.endpoint(host_rank)
+        yield ctx.consume(ctx.hca.post_overhead("dpu"))
+        ctx.cluster.metrics.add("proxy.plan_nacks")
+        ctx.cluster.fabric.control(
+            src_node=ctx.node_id,
+            dst_node=ep.ctx.node_id,
+            initiator="dpu",
+            inbox=ep.inbox,
+            msg=("plan_nack", {"plan_id": self.plan["plan_id"],
+                               "req_id": self.req_id,
+                               "call_no": self.call_no,
+                               "stale": True}),
+            src_mem="dpu",
+            dst_mem="host",
+            kind="plan_nack",
+        )
+
+    def _run_inner(self):
         engine = self.engine
         ctx = engine.ctx
         params = engine.params
@@ -97,39 +164,51 @@ class GroupExecutor:
         # observes it with zero host-side protocol work.  Routed through
         # the engine so the "done" fact is recorded durably first (a
         # replayed invocation then only resends this write).
-        yield from engine.finish_group(host_rank, self.req_id)
+        yield from engine.finish_group(host_rank, self.req_id, self.call_no)
 
     # ------------------------------------------------------------------
     def _post_send(self, entry):
         """Post one send entry; returns its completion event (a generator)."""
         engine = self.engine
         if engine.mode == "staged":
-            done = yield from engine.staged_send_start(
-                src_rkey=entry["src_rkey"], src_addr=entry["addr"],
-                size=entry["size"],
-                dst_rkey=entry["rkey"], dst_addr=entry["dst_addr"],
-            )
+            try:
+                done = yield from engine.staged_send_start(
+                    src_rkey=entry["src_rkey"], src_addr=entry["addr"],
+                    size=entry["size"],
+                    dst_rkey=entry["rkey"], dst_addr=entry["dst_addr"],
+                )
+            except ProtectionError as exc:
+                raise StalePlanError(self.plan["plan_id"], exc) from exc
             return done
         mkey2_key = entry.get("mkey2")
         if mkey2_key is None:
-            info = yield from engine.gvmi_cache.get(
-                self.plan["host_rank"], entry["gvmi_id"], entry["mkey"],
-                entry.get("reg_addr", entry["addr"]),
-                entry.get("reg_size", entry["size"]),
-            )
+            try:
+                info = yield from engine.gvmi_cache.get(
+                    self.plan["host_rank"], entry["gvmi_id"], entry["mkey"],
+                    entry.get("reg_addr", entry["addr"]),
+                    entry.get("reg_size", entry["size"]),
+                )
+            except ProtectionError as exc:
+                raise StalePlanError(self.plan["plan_id"], exc) from exc
             mkey2_key = info.key
             # Attach for future cached invocations (Section VII-D: "the
             # group entry queue also contains the GVMI registration
             # cache entry").
             entry["mkey2"] = mkey2_key
-        transfer = yield from rdma_write(
-            self.engine.ctx,
-            lkey=mkey2_key,
-            src_addr=entry["addr"],
-            rkey=entry["rkey"],
-            dst_addr=entry["dst_addr"],
-            size=entry["size"],
-        )
+        try:
+            transfer = yield from rdma_write(
+                self.engine.ctx,
+                lkey=mkey2_key,
+                src_addr=entry["addr"],
+                rkey=entry["rkey"],
+                dst_addr=entry["dst_addr"],
+                size=entry["size"],
+            )
+        except ProtectionError as exc:
+            # The attached mkey2 (or the remote rkey) died since the
+            # plan was built: invalidate the attachment before aborting.
+            entry.pop("mkey2", None)
+            raise StalePlanError(self.plan["plan_id"], exc) from exc
         return transfer.completed
 
     def _flush_segment(self, pending, send_set, host_rank, epoch):

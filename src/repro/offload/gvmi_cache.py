@@ -57,18 +57,43 @@ class _ArrayOfBsts:
 
 
 class HostGvmiCache:
-    """Host-side mkey cache for one rank: [proxy rank] -> BST[(addr, size)]."""
+    """Host-side mkey cache for one rank: [proxy rank] -> BST[(addr, size)].
 
-    def __init__(self, ctx: ProcessContext, enabled: bool = True):
+    With a ``capacity`` (total entries across all slots; default
+    ``params.gvmi_cache_capacity``) the least-recently-used entry is
+    evicted on overflow and its mkey revoked -- a proxy still holding
+    the derived mkey2 keeps working until the host's *next* registration
+    of that range mints a fresh mkey, at which point the DPU cache's
+    mkey-mismatch check catches the staleness (paper Section VII-B).
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+    ):
         if ctx.kind != "host":
             raise ValueError("HostGvmiCache lives on host processes")
         self.ctx = ctx
         #: Ablation switch: disabled -> every get registers afresh.
         self.enabled = enabled
+        if capacity is None:
+            capacity = ctx.cluster.params.gvmi_cache_capacity
+        self.capacity = capacity
         n_proxies = len(ctx.cluster.proxies)
         self._store = _ArrayOfBsts(n_proxies)
+        #: LRU order over (slot, addr, size); insertion order = age.
+        self._lru: dict[tuple[int, int, int], None] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        ctx.free_listeners.append(self._on_free)
+
+    def _touch(self, slot: int, addr: int, size: int) -> None:
+        key = (slot, addr, size)
+        self._lru.pop(key, None)
+        self._lru[key] = None
 
     def get(self, proxy: ProcessContext, gvmi_id: int, addr: int, size: int):
         """mkey KeyInfo for (addr, size) under ``proxy``'s GVMI.
@@ -82,8 +107,10 @@ class HostGvmiCache:
             metrics.add("gvmi_cache.host.miss")
             return (yield from host_gvmi_register(self.ctx, addr, size, gvmi_id))
         yield self.ctx.consume(self.ctx.cluster.params.host_cache_lookup)
-        tree = self._store.tree(proxy.global_id)
+        slot = proxy.global_id
+        tree = self._store.tree(slot)
         entry: Optional[KeyInfo] = tree.find((addr, size))
+        hit_key = (addr, size)
         if entry is None:
             # Like production registration caches, a cached mkey whose
             # range *covers* the request is a hit (HPL's shrinking
@@ -91,11 +118,13 @@ class HostGvmiCache:
             for (base, length), info in tree.items():
                 if base <= addr and addr + size <= base + length and info.gvmi_id == gvmi_id:
                     entry = info
+                    hit_key = (base, length)
                     break
         bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
             metrics.add("gvmi_cache.host.hit")
+            self._touch(slot, *hit_key)
             if bus is not None:
                 bus.emit("cache", "hit", self.ctx.trace_name,
                          cache="gvmi.host", size=size)
@@ -107,14 +136,63 @@ class HostGvmiCache:
                      cache="gvmi.host", size=size)
         info = yield from host_gvmi_register(self.ctx, addr, size, gvmi_id)
         tree.insert((addr, size), info)
+        self._touch(slot, addr, size)
+        self._evict_over_capacity()
         return info
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        from repro.verbs.rdma import verbs_state
+
+        keys = verbs_state(self.ctx.cluster).keys
+        metrics = self.ctx.cluster.metrics
+        bus = self.ctx.cluster.bus
+        while len(self._lru) > self.capacity:
+            slot, base, length = next(iter(self._lru))
+            del self._lru[(slot, base, length)]
+            tree = self._store.tree(slot)
+            info = tree.find((base, length))
+            tree.remove((base, length))
+            if info is not None and keys.is_live(info.key):
+                keys.revoke(info.key)
+            self.evictions += 1
+            metrics.add("gvmi_cache.host.evict")
+            if bus is not None:
+                bus.emit("cache", "evict", self.ctx.trace_name,
+                         cache="gvmi.host", size=length)
 
     def peek(self, proxy_rank: int, addr: int, size: int):
         return self._store.peek(proxy_rank, addr, size)
 
     def invalidate(self, proxy_rank: int, addr: int, size: int) -> bool:
         t = self._store._slots[proxy_rank]
+        self._lru.pop((proxy_rank, addr, size), None)
         return bool(t and t.remove((addr, size)))
+
+    def invalidate_range(self, addr: int, size: int) -> int:
+        """Drop every entry overlapping [addr, addr+size), all slots.
+
+        Runs from the free protocol -- keys are already revoked there,
+        so entries are simply dropped.
+        """
+        dropped = 0
+        for slot, tree in enumerate(self._store._slots):
+            if tree is None:
+                continue
+            doomed = [
+                (base, length)
+                for (base, length), _info in tree.items()
+                if base < addr + size and addr < base + length
+            ]
+            for key in doomed:
+                tree.remove(key)
+                self._lru.pop((slot, *key), None)
+                dropped += 1
+        return dropped
+
+    def _on_free(self, addr: int, size: int) -> None:
+        self.invalidate_range(addr, size)
 
     @property
     def entries(self) -> int:
@@ -126,20 +204,43 @@ class HostGvmiCache:
 
 
 class DpuGvmiCache:
-    """DPU-side mkey2 cache for one proxy: [host rank] -> BST[(addr, size)]."""
+    """DPU-side mkey2 cache for one proxy: [host rank] -> BST[(addr, size)].
 
-    def __init__(self, ctx: ProcessContext, enabled: bool = True):
+    With a ``capacity`` (default ``params.gvmi_cache_capacity``) the
+    least-recently-used mkey2 is evicted and revoked on overflow --
+    this is the scarce-DPU-memory regime the array-of-BST design exists
+    to manage.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+    ):
         if ctx.kind != "dpu":
             raise ValueError("DpuGvmiCache lives on DPU proxy processes")
         self.ctx = ctx
         #: Ablation switch: disabled -> every get cross-registers afresh.
         self.enabled = enabled
+        if capacity is None:
+            capacity = ctx.cluster.params.gvmi_cache_capacity
+        self.capacity = capacity
         self._store = _ArrayOfBsts(ctx.cluster.world_size)
+        #: LRU order over (host rank, addr, size).
+        self._lru: dict[tuple[int, int, int], None] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         #: Times a cached entry's mkey disagreed with the presented one
-        #: (should stay zero; see module docstring).
+        #: (zero in steady state; fires legitimately when the host side
+        #: re-registers after eviction or free -- see module docstring).
         self.stale_detected = 0
+
+    def _touch(self, host_rank: int, addr: int, size: int) -> None:
+        key = (host_rank, addr, size)
+        self._lru.pop(key, None)
+        self._lru[key] = None
 
     def get(self, host_rank: int, gvmi_id: int, mkey: int, addr: int, size: int):
         """mkey2 KeyInfo, cross-registering on miss (a generator)."""
@@ -156,6 +257,7 @@ class DpuGvmiCache:
             if entry.parent_mkey == mkey:
                 self.hits += 1
                 metrics.add("gvmi_cache.dpu.hit")
+                self._touch(host_rank, addr, size)
                 if bus is not None:
                     bus.emit("cache", "hit", self.ctx.trace_name,
                              cache="gvmi.dpu", size=size)
@@ -167,6 +269,7 @@ class DpuGvmiCache:
                 bus.emit("cache", "stale", self.ctx.trace_name,
                          cache="gvmi.dpu", size=size)
             tree.remove((addr, size))
+            self._lru.pop((host_rank, addr, size), None)
         self.misses += 1
         metrics.add("gvmi_cache.dpu.miss")
         if bus is not None:
@@ -174,10 +277,40 @@ class DpuGvmiCache:
                      cache="gvmi.dpu", size=size)
         info = yield from cross_register(self.ctx, addr, size, gvmi_id, mkey)
         tree.insert((addr, size), info)
+        self._touch(host_rank, addr, size)
+        self._evict_over_capacity()
         return info
+
+    def _evict_over_capacity(self) -> None:
+        if self.capacity is None:
+            return
+        from repro.verbs.rdma import verbs_state
+
+        keys = verbs_state(self.ctx.cluster).keys
+        metrics = self.ctx.cluster.metrics
+        bus = self.ctx.cluster.bus
+        while len(self._lru) > self.capacity:
+            host_rank, base, length = next(iter(self._lru))
+            del self._lru[(host_rank, base, length)]
+            tree = self._store.tree(host_rank)
+            info = tree.find((base, length))
+            tree.remove((base, length))
+            if info is not None and keys.is_live(info.key):
+                keys.revoke(info.key)
+            self.evictions += 1
+            metrics.add("gvmi_cache.dpu.evict")
+            if bus is not None:
+                bus.emit("cache", "evict", self.ctx.trace_name,
+                         cache="gvmi.dpu", size=length)
 
     def peek(self, host_rank: int, addr: int, size: int):
         return self._store.peek(host_rank, addr, size)
+
+    def invalidate(self, host_rank: int, addr: int, size: int) -> bool:
+        """Drop one entry (stale-key recovery); no revoke (already dead)."""
+        t = self._store._slots[host_rank]
+        self._lru.pop((host_rank, addr, size), None)
+        return bool(t and t.remove((addr, size)))
 
     @property
     def entries(self) -> int:

@@ -27,13 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.hw.memory import OutOfMemoryError
 from repro.hw.node import ProcessContext
 from repro.offload.group_cache import DpuPlanCache
 from repro.offload.gvmi_cache import DpuGvmiCache
 from repro.offload.requests import OffloadError
 from repro.offload.staging import StagingChannel
 from repro.sim import Event, Interrupt
-from repro.verbs.rdma import rdma_read, rdma_write
+from repro.verbs.mr import ProtectionError
+from repro.verbs.rdma import rdma_read, rdma_write, verbs_state
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.offload.api import OffloadFramework
@@ -133,7 +135,7 @@ class ProxyEngine:
         #: (state-of-the-art bounce through DPU DRAM).
         self.mode = framework.mode
         self.gvmi_cache = DpuGvmiCache(ctx, enabled=framework.gvmi_caching)
-        self.plan_cache = DpuPlanCache()
+        self.plan_cache = DpuPlanCache(ctx=ctx)
         self.staging = StagingChannel(ctx)
         self.counters = CounterBoard(self.sim)
         self.counter_sink = _CounterSink(self.counters)
@@ -346,23 +348,35 @@ class ProxyEngine:
     def _post_pair_transfer(self, pair: dict, attempt: int) -> None:
         rts, rtr = pair["rts"], pair["rtr"]
         if self.mode == "staged":
-            done = yield from self.staged_send_start(
-                src_rkey=rts["rkey"], src_addr=rts["addr"], size=rts["size"],
-                dst_rkey=rtr["rkey"], dst_addr=rtr["addr"],
-            )
+            try:
+                done = yield from self.staged_send_start(
+                    src_rkey=rts["rkey"], src_addr=rts["addr"], size=rts["size"],
+                    dst_rkey=rtr["rkey"], dst_addr=rtr["addr"],
+                    pair=pair,
+                )
+            except OutOfMemoryError as exc:
+                yield from self._degrade_pair(pair, exc)
+                return
+            except ProtectionError as exc:
+                yield from self._on_stale_pair(pair, exc)
+                return
         else:
-            mkey2 = yield from self.gvmi_cache.get(
-                rts["src"], rts["gvmi_id"], rts["mkey"],
-                rts.get("reg_addr", rts["addr"]), rts.get("reg_size", rts["size"]),
-            )
-            transfer = yield from rdma_write(
-                self.ctx,
-                lkey=mkey2.key,
-                src_addr=rts["addr"],
-                rkey=rtr["rkey"],
-                dst_addr=rtr["addr"],
-                size=rts["size"],
-            )
+            try:
+                mkey2 = yield from self.gvmi_cache.get(
+                    rts["src"], rts["gvmi_id"], rts["mkey"],
+                    rts.get("reg_addr", rts["addr"]), rts.get("reg_size", rts["size"]),
+                )
+                transfer = yield from rdma_write(
+                    self.ctx,
+                    lkey=mkey2.key,
+                    src_addr=rts["addr"],
+                    rkey=rtr["rkey"],
+                    dst_addr=rtr["addr"],
+                    size=rts["size"],
+                )
+            except ProtectionError as exc:
+                yield from self._on_stale_pair(pair, exc)
+                return
             done = transfer.completed
         inc = self.incarnation
 
@@ -395,7 +409,7 @@ class ProxyEngine:
     # staged transfers (Fig 6's bounce path; used by BluesMPI-style mode)
     # ------------------------------------------------------------------
     def staged_send_start(self, *, src_rkey: int, src_addr: int, size: int,
-                          dst_rkey: int, dst_addr: int):
+                          dst_rkey: int, dst_addr: int, pair: dict = None):
         """Begin a staged transfer; returns an event that fires when the
         bytes have landed at the destination host (a generator).
 
@@ -411,8 +425,17 @@ class ProxyEngine:
             "src_rkey": src_rkey, "src_addr": src_addr,
             "dst_rkey": dst_rkey, "dst_addr": dst_addr,
             "done": done,
+            # Basic-pair context for stale-key recovery (None for group
+            # segments, which recover at plan granularity).
+            "pair": pair,
         }
-        yield from self._post_staged_read(st, attempt=1)
+        try:
+            yield from self._post_staged_read(st, attempt=1)
+        except ProtectionError:
+            # Stale source rkey detected at WQE post: hand the buffer
+            # back before the caller runs pair-level recovery.
+            self.staging.release(st["buf"])
+            raise
         return done
 
     def _post_staged_read(self, st: dict, attempt: int) -> None:
@@ -460,14 +483,23 @@ class ProxyEngine:
             if attempt > self.retry.rdma_retry_limit:
                 raise OffloadError("staged RDMA write exceeded the re-post limit")
             self.ctx.cluster.metrics.add("proxy.rdma_retries")
-        write = yield from rdma_write(
-            self.ctx,
-            lkey=st["buf"].lkey,
-            src_addr=st["buf"].addr,
-            rkey=st["dst_rkey"],
-            dst_addr=st["dst_addr"],
-            size=st["size"],
-        )
+        try:
+            write = yield from rdma_write(
+                self.ctx,
+                lkey=st["buf"].lkey,
+                src_addr=st["buf"].addr,
+                rkey=st["dst_rkey"],
+                dst_addr=st["dst_addr"],
+                size=st["size"],
+            )
+        except ProtectionError as exc:
+            # Stale destination rkey (freed/evicted between the read and
+            # write legs).  Recover at pair granularity when we can.
+            self.staging.release(st["buf"])
+            if st.get("pair") is not None:
+                yield from self._on_stale_pair(st["pair"], exc)
+                return
+            raise
 
         def _after_write():
             dv = yield write.completed
@@ -526,6 +558,117 @@ class ProxyEngine:
         )
 
     # ------------------------------------------------------------------
+    # resource governance: stale keys and memory exhaustion
+    # ------------------------------------------------------------------
+    def _on_stale_pair(self, pair: dict, exc: ProtectionError) -> None:
+        """A matched pair faulted on a revoked key at WQE post.
+
+        The host freed (or its cache evicted) the registration after
+        posting the control message -- the race the epoch protocol
+        exists for.  Probe which side is stale, requeue the surviving
+        side at the FRONT of its queue (so the recovered repost matches
+        it), and nack the stale side so its Wait re-registers and
+        re-posts.  Non-resilient runs fail loudly instead of silently
+        writing through recycled memory.
+        """
+        rts, rtr = pair["rts"], pair["rtr"]
+        self.ctx.cluster.metrics.add("proxy.stale_keys")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("reg", "stale_use", self.ctx.trace_name,
+                     src=rts["src"], dst=rts["dst"], tag=rts["tag"])
+        keys = verbs_state(self.ctx.cluster).keys
+        if self.mode == "staged":
+            send_live = keys.is_live(rts["rkey"])
+        else:
+            send_live = keys.is_live(rts["mkey"])
+            # Drop the cached cross-registration so recovery registers
+            # a fresh chain rather than rediscovering the stale one.
+            self.gvmi_cache.invalidate(
+                rts["src"],
+                rts.get("reg_addr", rts["addr"]),
+                rts.get("reg_size", rts["size"]),
+            )
+        recv_live = keys.is_live(rtr["rkey"])
+        if not self.resilient:
+            raise OffloadError(
+                f"stale registration in offloaded pair src={rts['src']} "
+                f"dst={rts['dst']} tag={rts['tag']}: {exc}"
+            ) from exc
+        if send_live and recv_live:
+            # Only the mkey2 was stale (e.g. evicted under DPU memory
+            # pressure): one re-post cross-registers afresh.
+            if pair.get("stale_retries", 0) >= 1:
+                raise OffloadError(
+                    f"pair src={rts['src']} dst={rts['dst']} tag={rts['tag']} "
+                    f"keeps faulting with live endpoint keys: {exc}"
+                ) from exc
+            pair["stale_retries"] = pair.get("stale_retries", 0) + 1
+            yield from self._post_pair_transfer(pair, attempt=1)
+            return
+        key = (rts["src"], rts["dst"], rts["tag"])
+        if send_live:
+            self._send_q.setdefault(key, []).insert(
+                0, _PendingOp("rts", rts["src"], rts["dst"], rts["tag"], rts)
+            )
+        if recv_live:
+            self._recv_q.setdefault(key, []).insert(
+                0, _PendingOp("rtr", rtr["src"], rtr["dst"], rtr["tag"], rtr)
+            )
+        for info, host_rank, live in (
+            (rts, rts["src"], send_live),
+            (rtr, rtr["dst"], recv_live),
+        ):
+            if live:
+                continue
+            # Forget the request so the recovered repost (same req_id,
+            # fresh keys) is not dropped as a duplicate.
+            self._live_reqs.discard(info["req_id"])
+            yield from self._nack_recovery(host_rank, "stale_key",
+                                           info["req_id"], kind="stale_nack")
+
+    def _degrade_pair(self, pair: dict, exc: OutOfMemoryError) -> None:
+        """DPU DRAM exhausted: this pair cannot be staged.
+
+        Resilient runs push the sender onto the host-driven fallback
+        path (mirroring the proxy-death degradation of PR 1); the pair's
+        req_ids stay in ``_live_reqs`` so control retransmits are
+        dropped quietly while the hosts finish over the fallback.
+        """
+        rts = pair["rts"]
+        self.ctx.cluster.metrics.add("proxy.oom_degrades")
+        bus = self.ctx.cluster.bus
+        if bus is not None:
+            bus.emit("proxy", "degrade", self.ctx.trace_name,
+                     src=rts["src"], dst=rts["dst"], tag=rts["tag"],
+                     size=rts["size"])
+        if not self.resilient:
+            raise OffloadError(
+                f"proxy {self.ctx.global_id} out of staging memory for pair "
+                f"src={rts['src']} dst={rts['dst']} tag={rts['tag']} "
+                f"({exc})"
+            ) from exc
+        yield from self._nack_recovery(rts["src"], "oom_nack",
+                                       rts["req_id"], kind="oom_nack")
+
+    def _nack_recovery(self, host_rank: int, what: str, req_id: int,
+                       kind: str) -> None:
+        """Deliver a recovery notification to a host endpoint's sink."""
+        ep = self.framework.endpoint(host_rank)
+        yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
+        self.ctx.cluster.metrics.add(f"proxy.{kind}s")
+        self.ctx.cluster.fabric.control(
+            src_node=self.ctx.node_id,
+            dst_node=ep.ctx.node_id,
+            initiator="dpu",
+            inbox=ep.recovery_sink,
+            msg=(what, {"req_id": req_id}),
+            src_mem="dpu",
+            dst_mem="host",
+            kind=kind,
+        )
+
+    # ------------------------------------------------------------------
     # Group primitives (Figs 9-10, Algorithm 1)
     # ------------------------------------------------------------------
     def _on_group_plan(self, packet: dict) -> None:
@@ -541,7 +684,8 @@ class ProxyEngine:
             "entries": packet["entries"],
         }
         self.plan_cache.store(packet["plan_id"], plan)
-        yield from self._launch_plan(plan, packet["req_id"], cached=False)
+        yield from self._launch_plan(plan, packet["req_id"], cached=False,
+                                     call_no=packet.get("call_no", 1))
 
     def _on_group_call(self, packet: dict) -> None:
         """Request-ID-only invocation (host cache hit, Section VII-D)."""
@@ -561,7 +705,8 @@ class ProxyEngine:
                     initiator="dpu",
                     inbox=ep.inbox,
                     msg=("plan_nack", {"plan_id": packet["plan_id"],
-                                       "req_id": packet["req_id"]}),
+                                       "req_id": packet["req_id"],
+                                       "call_no": packet.get("call_no")}),
                     src_mem="dpu",
                     dst_mem="host",
                     kind="plan_nack",
@@ -571,18 +716,31 @@ class ProxyEngine:
                 f"group_call for unknown plan {packet['plan_id']} "
                 f"(host cache believed the proxy had it)"
             )
-        yield from self._launch_plan(plan, packet["req_id"], cached=True)
+        yield from self._launch_plan(plan, packet["req_id"], cached=True,
+                                     call_no=packet.get("call_no", 1))
 
-    def _launch_plan(self, plan: dict, req_id: int, cached: bool) -> None:
+    def _launch_plan(self, plan: dict, req_id: int, cached: bool,
+                     call_no: int = 1) -> None:
         from repro.offload.group_exec import GroupExecutor
 
         host_rank = plan["host_rank"]
         rec = self._group_launches.get(req_id) if self.resilient else None
+        if rec is not None and rec.get("call_no", 1) != call_no:
+            if call_no < rec.get("call_no", 1):
+                # Duplicate of an already-superseded call: its FIN is the
+                # only thing the host could still be missing.
+                yield from self._send_group_completion(host_rank, req_id,
+                                                       call_no)
+                return
+            # A recorded pattern being re-called: a fresh invocation, not
+            # a replay of the finished one -- launch anew with new seqs.
+            rec = None
         if rec is not None:
             if rec["done"]:
                 # Finished in an earlier life/attempt: the completion
                 # write must have been lost -- resend it idempotently.
-                yield from self._send_group_completion(host_rank, req_id)
+                yield from self._send_group_completion(host_rank, req_id,
+                                                       call_no)
                 return
             if rec["incarnation"] == self.incarnation:
                 # Duplicate invocation while the executor still runs.
@@ -617,8 +775,10 @@ class ProxyEngine:
                     "seqs": dict(seqs),
                     "incarnation": self.incarnation,
                     "done": False,
+                    "call_no": call_no,
                 }
-        executor = GroupExecutor(self, plan, req_id, seqs, cached=cached)
+        executor = GroupExecutor(self, plan, req_id, seqs, cached=cached,
+                                 call_no=call_no)
         self.ctx.cluster.metrics.add("proxy.group_plans_cached" if cached else "proxy.group_plans_full")
         bus = self.ctx.cluster.bus
         if bus is not None:
@@ -626,15 +786,16 @@ class ProxyEngine:
                      plan=plan["plan_id"], call=req_id, cached=cached)
         yield from self._drive_executor(executor, None)
 
-    def finish_group(self, host_rank: int, req_id: int):
+    def finish_group(self, host_rank: int, req_id: int, call_no: int = 1):
         """Executor epilogue: durably mark done, then write completion."""
         if self.resilient:
             rec = self._group_launches.get(req_id)
-            if rec is not None:
+            if rec is not None and rec.get("call_no", 1) == call_no:
                 rec["done"] = True
-        yield from self._send_group_completion(host_rank, req_id)
+        yield from self._send_group_completion(host_rank, req_id, call_no)
 
-    def _send_group_completion(self, host_rank: int, req_id: int):
+    def _send_group_completion(self, host_rank: int, req_id: int,
+                               call_no: int = 1):
         """Completion-counter RDMA write into host memory (Group_Wait)."""
         ep = self.framework.endpoint(host_rank)
         yield self.ctx.consume(self.ctx.hca.post_overhead("dpu"))
@@ -644,7 +805,7 @@ class ProxyEngine:
             dst_node=ep.ctx.node_id,
             initiator="dpu",
             inbox=ep.completion_sink,
-            msg=req_id,
+            msg=(req_id, call_no),
             size=8,
             src_mem="dpu",
             dst_mem="host",

@@ -85,6 +85,11 @@ class OffloadGroupRequest:
     #: The HostPlan behind the in-flight call (saved when resilience is
     #: on, so Group_Wait can retransmit the call or re-ship the plan).
     resend_plan: Any = None
+    #: Set by a ``stale``-flagged plan_nack: the proxy faulted on a
+    #: revoked key, so the next retransmit must rebuild the plan from
+    #: scratch (fresh registrations + descriptor exchange) rather than
+    #: re-ship the saved entries.
+    needs_rebuild: bool = False
 
     def record(self, op: GroupOp) -> None:
         if self.state != "recording":

@@ -159,6 +159,7 @@ class ShmemEndpoint:
         Returns an op handle; complete it with :meth:`quiet`.
         """
         yield from self._ensure_ready()
+        yield from self._admit()
         proxy = self.world.cluster.proxy_for_rank(self.pe)
         gid = gvmi_id_of(proxy)
         mkey = yield from self.gvmi_cache.get(proxy, gid, src_addr, size)
@@ -182,6 +183,7 @@ class ShmemEndpoint:
     def get(self, dst_addr: int, src_addr: int, size: int, pe: int):
         """Non-blocking get: PE ``pe``'s [src_addr,+size) -> my dst_addr."""
         yield from self._ensure_ready()
+        yield from self._admit()
         proxy = self.world.cluster.proxy_for_rank(self.pe)
         gid = gvmi_id_of(proxy)
         # The proxy writes into *my* buffer: it needs an mkey2 over it.
@@ -263,6 +265,31 @@ class ShmemEndpoint:
     def _ensure_ready(self):
         if not self.world.framework.ready.processed:
             yield self.world.framework.ready
+
+    def _admit(self):
+        """Backpressure: bound the per-PE outstanding one-sided window.
+
+        With ``params.shmem_queue_depth`` set, a put/get whose window is
+        full blocks (in simulated time) until an outstanding op
+        completes -- the PGAS analogue of a bounded NIC work queue.
+        Entries linger in ``_pending`` until :meth:`quiet`, so the
+        window counts *incomplete* ops, not table entries.
+        """
+        depth = self.params.shmem_queue_depth
+        if depth is None:
+            return
+        while True:
+            incomplete = [op for op in self._pending.values() if not op.complete]
+            if len(incomplete) < depth:
+                return
+            self.ctx.cluster.metrics.add("shmem.backpressure_stalls")
+            bus = self.ctx.cluster.bus
+            if bus is not None:
+                bus.emit("req", "stall", self.ctx.trace_name,
+                         outstanding=len(incomplete), api="shmem")
+            yield self.sim.any_of(
+                [op.event for op in incomplete if op.event is not None]
+            )
 
     def _complete_op(self, op_id: int) -> None:
         op = self._pending.get(op_id)

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.hw.memory import OutOfMemoryError
 from repro.hw.node import ProcessContext
 from repro.offload.requests import OffloadError
-from repro.verbs.mr import MemoryRegionHandle, reg_mr
+from repro.verbs.mr import MemoryRegionHandle, dereg_mr, reg_mr
 
 __all__ = ["StagingBuffer", "StagingChannel"]
 
@@ -61,6 +62,8 @@ class StagingChannel:
         #: Buffers created so far (diagnostics; also the warm-up signal).
         self.created = 0
         self.reused = 0
+        #: Pooled buffers torn down to make room under a DPU byte budget.
+        self.evictions = 0
         self._outstanding = 0
 
     def acquire(self, size: int):
@@ -79,9 +82,46 @@ class StagingChannel:
             return bucket.pop()
         self.created += 1
         self.ctx.cluster.metrics.add("staging.create")
-        addr = self.ctx.space.alloc(sc)
+        try:
+            addr = self.ctx.space.alloc(sc)
+        except OutOfMemoryError:
+            self._reclaim(sc)
+            try:
+                addr = self.ctx.space.alloc(sc)
+            except OutOfMemoryError:
+                self._outstanding -= 1
+                cluster = self.ctx.cluster
+                cluster.metrics.add("staging.oom")
+                if cluster.bus is not None:
+                    cluster.bus.emit("mem", "oom", self.ctx.trace_name,
+                                     size=sc, pooled=self.pooled)
+                raise
         handle = yield from reg_mr(self.ctx, addr, sc)
         return StagingBuffer(addr=addr, size_class=sc, handle=handle)
+
+    def _reclaim(self, needed: int) -> None:
+        """Tear down pooled (idle) buffers until ``needed`` bytes fit.
+
+        Deterministic order: smallest size class first, newest pooled
+        buffer first within a class.  Each teardown deregisters the
+        buffer and returns its DPU DRAM to the budget.
+        """
+        cluster = self.ctx.cluster
+        freed = 0
+        for sc in sorted(self._free):
+            bucket = self._free[sc]
+            while bucket and freed < needed:
+                buf = bucket.pop()
+                dereg_mr(self.ctx, buf.handle)
+                self.ctx.space.free(buf.addr)
+                freed += buf.size_class
+                self.evictions += 1
+                cluster.metrics.add("staging.evictions")
+                if cluster.bus is not None:
+                    cluster.bus.emit("cache", "evict", self.ctx.trace_name,
+                                     cache="staging", size=buf.size_class)
+            if freed >= needed:
+                break
 
     def release(self, buf: StagingBuffer) -> None:
         self._outstanding -= 1
@@ -94,3 +134,7 @@ class StagingChannel:
     @property
     def pooled(self) -> int:
         return sum(len(v) for v in self._free.values())
+
+    @property
+    def pooled_bytes(self) -> int:
+        return sum(b.size_class for bucket in self._free.values() for b in bucket)

@@ -72,7 +72,8 @@ def host_gvmi_register(host: ProcessContext, addr: int, size: int, gvmi_id: int)
     state = verbs_state(host.cluster)
     yield host.consume(_gvmi_reg_cost(host, addr, size))
     info = state.keys.new_key(
-        kind="mkey", owner=host, addr=addr, size=size, gvmi_id=gvmi_id
+        kind="mkey", owner=host, addr=addr, size=size, gvmi_id=gvmi_id,
+        epoch=host.space.epoch,
     )
     host.cluster.metrics.add("gvmi.host_registrations")
     bus = host.cluster.bus
@@ -121,6 +122,7 @@ def cross_register(
         size=size,
         gvmi_id=gvmi_id,
         parent_mkey=mkey,
+        epoch=parent.epoch,
     )
     proxy.cluster.metrics.add("gvmi.cross_registrations")
     bus = proxy.cluster.bus

@@ -46,6 +46,9 @@ class KeyInfo:
     gvmi_id: Optional[int] = None
     #: For mkey2: the host mkey it was cross-registered from.
     parent_mkey: Optional[int] = None
+    #: Owner address-space epoch at registration time.  A key whose
+    #: epoch predates a free of its range is stale (docs/RESOURCES.md).
+    epoch: int = 0
 
     def covers(self, addr: int, size: int) -> bool:
         return self.addr <= addr and addr + size <= self.addr + self.size
@@ -63,11 +66,28 @@ class MemoryRegionHandle:
 
 
 class KeyTable:
-    """Cluster-wide registry of live keys."""
+    """Cluster-wide registry of live keys.
+
+    Revoked keys are remembered (moved to a side table) so a later use
+    faults with a precise "stale" diagnosis instead of a generic
+    unknown-key error -- that distinction is what lets the proxy's
+    stale-key recovery path trigger re-registration rather than treat
+    the fault as a protocol bug.
+    """
 
     def __init__(self) -> None:
         self._keys: dict[int, KeyInfo] = {}
+        self._revoked: dict[int, KeyInfo] = {}
         self._counter = itertools.count(start=0x1000)
+        #: When armed via :meth:`record_uses`: ("use"|"revoke", t, key,
+        #: kind) tuples consumed by the trace-invariant checker.
+        self.use_log: Optional[list] = None
+        self._clock = None
+
+    def record_uses(self, clock) -> None:
+        """Arm use/revoke logging; ``clock()`` supplies timestamps."""
+        self.use_log = []
+        self._clock = clock
 
     def new_key(self, **kw) -> KeyInfo:
         info = KeyInfo(key=next(self._counter), **kw)
@@ -77,7 +97,13 @@ class KeyTable:
     def lookup(self, key: int) -> KeyInfo:
         info = self._keys.get(key)
         if info is None:
+            if key in self._revoked:
+                raise ProtectionError(
+                    f"key {key:#x} is not registered (revoked: stale epoch)"
+                )
             raise ProtectionError(f"key {key:#x} is not registered (stale or bogus)")
+        if self.use_log is not None:
+            self.use_log.append(("use", self._clock(), key, info.kind))
         return info
 
     def check(
@@ -109,7 +135,40 @@ class KeyTable:
     def revoke(self, key: int) -> None:
         if key not in self._keys:
             raise ProtectionError(f"cannot revoke unknown key {key:#x}")
-        del self._keys[key]
+        info = self._keys.pop(key)
+        self._revoked[key] = info
+        if self.use_log is not None:
+            self.use_log.append(("revoke", self._clock(), key, info.kind))
+
+    def revoke_covering(
+        self, owner: ProcessContext, addr: int, size: int
+    ) -> list[KeyInfo]:
+        """Revoke every live key of ``owner`` overlapping the range.
+
+        Called from :meth:`ProcessContext.free`: mkey2 cross-
+        registrations are owned by the *host* context they grant access
+        to, so revoking by owner kills them alongside the parent mkey.
+        """
+        doomed = [
+            info
+            for info in self._keys.values()
+            if info.owner is owner
+            and info.addr < addr + size
+            and addr < info.addr + info.size
+        ]
+        for info in doomed:
+            self.revoke(info.key)
+        return doomed
+
+    def is_live(self, key: int) -> bool:
+        return key in self._keys
+
+    def live_owned_by(self, owner: ProcessContext) -> list[KeyInfo]:
+        """Live keys granting access to ``owner``'s memory (leak checks)."""
+        return [info for info in self._keys.values() if info.owner is owner]
+
+    def live_infos(self) -> list[KeyInfo]:
+        return list(self._keys.values())
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -137,8 +196,11 @@ def reg_mr(ctx: ProcessContext, addr: int, size: int):
 
     state = verbs_state(ctx.cluster)
     yield ctx.consume(registration_cost(ctx, addr, size))
-    lk = state.keys.new_key(kind="lkey", owner=ctx, addr=addr, size=size)
-    rk = state.keys.new_key(kind="rkey", owner=ctx, addr=addr, size=size)
+    epoch = ctx.space.epoch
+    lk = state.keys.new_key(kind="lkey", owner=ctx, addr=addr, size=size,
+                            epoch=epoch)
+    rk = state.keys.new_key(kind="rkey", owner=ctx, addr=addr, size=size,
+                            epoch=epoch)
     ctx.cluster.metrics.add(f"verbs.reg_mr.{ctx.kind}")
     bus = ctx.cluster.bus
     if bus is not None:

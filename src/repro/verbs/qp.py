@@ -19,22 +19,45 @@ from repro.hw.fabric import Transfer
 from repro.hw.node import ProcessContext
 from repro.sim import Event
 
-__all__ = ["QueuePair"]
+__all__ = ["QueuePair", "CqOverflowError"]
+
+
+class CqOverflowError(RuntimeError):
+    """More unpolled completions than the CQ can hold.
+
+    On hardware this is a fatal async event (IBV_EVENT_CQ_ERR): the
+    overflowing CQE is dropped and the CQ is unusable.  We model the
+    fatal part -- the QP refuses further posts -- so tests can assert
+    that bounded consumers keep up with their completion queues.
+    """
 
 
 class QueuePair:
     """One reliable, ordered flow from ``owner`` toward one peer."""
 
-    def __init__(self, owner: ProcessContext, peer: ProcessContext, sq_depth: int = 128):
+    def __init__(
+        self,
+        owner: ProcessContext,
+        peer: ProcessContext,
+        sq_depth: int = 128,
+        cq_depth: Optional[int] = None,
+    ):
         if sq_depth < 1:
             raise ValueError("send queue depth must be >= 1")
         self.owner = owner
         self.peer = peer
         self.sq_depth = sq_depth
+        if cq_depth is None:
+            cq_depth = owner.cluster.params.cq_depth
+        #: Max completions that may sit unpolled; None = unbounded.
+        self.cq_depth = cq_depth
         #: Completion events of in-flight WQEs, oldest first.
         self._inflight: deque[Event] = deque()
         #: Completion of the most recent WQE (ordering fence).
         self._last: Optional[Event] = None
+        #: Completions fired but not yet reaped by post/drain/outstanding.
+        self._unpolled = 0
+        self.overflowed = False
 
     @property
     def outstanding(self) -> int:
@@ -44,6 +67,27 @@ class QueuePair:
     def _reap(self) -> None:
         while self._inflight and self._inflight[0].processed:
             self._inflight.popleft()
+            if self.cq_depth is not None:
+                self._unpolled -= 1
+
+    def _on_cqe(self, _event) -> None:
+        self._unpolled += 1
+        if self._unpolled > self.cq_depth and not self.overflowed:
+            self.overflowed = True
+            cluster = self.owner.cluster
+            cluster.metrics.add("verbs.cq_overflows")
+            if cluster.bus is not None:
+                cluster.bus.emit(
+                    "fault", "cq_overflow", self.owner.trace_name,
+                    peer=self.peer.trace_name, depth=self.cq_depth,
+                )
+
+    def _check_overflow(self) -> None:
+        if self.overflowed:
+            raise CqOverflowError(
+                f"{self.owner!r}->{self.peer!r}: completion queue of depth "
+                f"{self.cq_depth} overflowed"
+            )
 
     def post(self, op_gen):
         """Post one RDMA op (a generator from :mod:`repro.verbs.rdma`).
@@ -52,6 +96,7 @@ class QueuePair:
         previous one on this QP has completed.  Use as
         ``t = yield from qp.post(rdma_write(...))``.
         """
+        self._check_overflow()
         self._reap()
         while len(self._inflight) >= self.sq_depth:
             yield self._inflight[0]
@@ -60,12 +105,16 @@ class QueuePair:
             yield self._last
         transfer: Transfer = yield from op_gen
         self._inflight.append(transfer.completed)
+        if self.cq_depth is not None:
+            transfer.completed.callbacks.append(self._on_cqe)
         self._last = transfer.completed
         return transfer
 
     def drain(self):
         """Wait for every outstanding WQE (a generator)."""
+        self._check_overflow()
         self._reap()
         while self._inflight:
             yield self._inflight[0]
             self._reap()
+        self._check_overflow()

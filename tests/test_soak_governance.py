@@ -1,0 +1,237 @@
+"""Seeded soak: thousands of randomized cycles under memory pressure.
+
+Each soak drives alloc / register / offload / verify / free loops with
+tight budgets, small cache capacities, address recycling, injected
+fabric faults, and periodic free-while-in-flight races -- then asserts
+the governed steady state: zero leaked keys, allocation counters back
+at their baselines, byte-exact payloads throughout, and (for the
+observed run) a clean trace-invariant sweep.
+
+Everything draws from seeded streams, so these are deterministic
+regression tests, not fuzzers.  The cycle counts are sized to keep the
+whole module in tens of seconds; the CI soak job runs exactly this.
+"""
+
+import random
+
+import pytest
+
+from tests.helpers import pattern, run_procs
+from repro.hw import (
+    Cluster,
+    ClusterSpec,
+    FaultPlan,
+    FaultSpec,
+    MachineParams,
+    RetryPolicy,
+)
+from repro.obs import observe_cluster
+from repro.offload import OffloadFramework
+from repro.verbs.rdma import verbs_state
+
+RETRY = RetryPolicy(timeout=500e-6)
+
+#: (cycles, race_every): ISSUE.md's acceptance floor is >= 2000 cycles
+#: total across the soaks.
+STAGED_CYCLES = 1000
+GVMI_CYCLES = 1000
+
+
+def _cycle_plan(cycles, seed, race_every=None):
+    """Deterministic per-cycle schedule shared by both endpoints."""
+    rng = random.Random(seed)
+    plan = []
+    for i in range(cycles):
+        size = rng.randrange(256, 16384, 256)
+        race = race_every is not None and i % race_every == race_every - 1
+        plan.append((size, race))
+    return plan
+
+
+def _soak(cl, fw, plan, verify_quiescent=True):
+    """Run the schedule: rank 0 sends, rank 1 receives, both free."""
+    sim = cl.sim
+
+    def sender(sim):
+        ep = fw.endpoint(0)
+        for i, (size, race) in enumerate(plan):
+            if race:
+                # Post, then free + recycle + rewrite while in flight:
+                # the proxy must fault on the revoked key and recover
+                # with the new incarnation's bytes.
+                addr = ep.ctx.space.alloc_like(pattern(size, seed=i))
+                req = yield from ep.send_offload(addr, size, dst=1, tag=i)
+                ep.ctx.free(addr)
+                addr = ep.ctx.space.alloc_like(pattern(size, seed=i + 100_000))
+                yield from ep.wait(req)
+            else:
+                addr = ep.ctx.space.alloc_like(pattern(size, seed=i))
+                req = yield from ep.send_offload(addr, size, dst=1, tag=i)
+                yield from ep.wait(req)
+            ep.ctx.free(addr)
+
+    def receiver(sim):
+        ep = fw.endpoint(1)
+        for i, (size, race) in enumerate(plan):
+            want_seed = i + 100_000 if race else i
+            if race:
+                # Give the sender's free a head start so the stale path
+                # actually triggers (same schedule, same decision).
+                yield sim.timeout(100e-6)
+            addr = ep.ctx.space.alloc(size)
+            req = yield from ep.recv_offload(addr, size, src=0, tag=i)
+            yield from ep.wait(req)
+            got = ep.ctx.space.read(addr, size)
+            assert (got == pattern(size, seed=want_seed)).all(), (
+                f"cycle {i}: payload corrupted")
+            ep.ctx.free(addr)
+
+    run_procs(cl, [sender(sim), receiver(sim)])
+    if verify_quiescent:
+        fw.assert_quiescent()
+
+
+def _assert_no_leaks(cl, baselines):
+    keys = verbs_state(cl).keys
+    for rank in range(cl.world_size):
+        ctx = cl.rank_ctx(rank)
+        live = keys.live_owned_by(ctx)
+        assert not live, f"rank {rank} leaked {len(live)} key(s): {live[:4]}"
+        assert ctx.space.allocated_bytes == baselines[rank], (
+            f"rank {rank} leaked "
+            f"{ctx.space.allocated_bytes - baselines[rank]} bytes")
+
+
+def _baselines(cl):
+    return {r: cl.rank_ctx(r).space.allocated_bytes
+            for r in range(cl.world_size)}
+
+
+class TestSoak:
+    def test_staged_soak_under_dpu_pressure_and_faults(self):
+        """Staged mode: tiny DPU budget + chaos fabric, 1000 cycles."""
+        params = MachineParams().with_overrides(
+            reuse_freed_addresses=True,
+            dpu_mem_budget=256 * 1024,
+        )
+        cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1,
+                                 params=params))
+        cl.install_faults(FaultPlan(FaultSpec(drop_prob=0.02), seed=11))
+        fw = OffloadFramework(cl, mode="staged", retry=RETRY)
+        base = _baselines(cl)
+        _soak(cl, fw, _cycle_plan(STAGED_CYCLES, seed=1, race_every=97))
+        _assert_no_leaks(cl, base)
+        # The proxy stayed inside its budget the whole time (peak is a
+        # high-water mark, so this covers every instant of the run).
+        proxy = cl.proxy_for_rank(0)
+        assert proxy.space.peak_bytes <= 256 * 1024
+        assert cl.metrics.get("proxy.stale_keys") >= 1
+        assert cl.metrics.get("offload.stale_reposts") >= 1
+
+    def test_gvmi_soak_with_bounded_caches_observed(self):
+        """GVMI mode: 4-entry caches, recycling, full trace invariants."""
+        params = MachineParams().with_overrides(
+            reuse_freed_addresses=True,
+            gvmi_cache_capacity=4,
+            ib_cache_capacity=4,
+        )
+        cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1,
+                                 params=params))
+        obs = observe_cluster(cl)
+        fw = OffloadFramework(cl, retry=RETRY)
+        base = _baselines(cl)
+        plan = _cycle_plan(GVMI_CYCLES, seed=2, race_every=131)
+        # A persistent working set of 6 registered buffers > the 4-entry
+        # caches, so hits, misses, and LRU evictions all churn for the
+        # whole run (per-cycle frees would just invalidate instead).
+        size = 8192
+        n_bufs = 6
+        sim = cl.sim
+
+        def sender(sim):
+            ep = fw.endpoint(0)
+            bufs = [ep.ctx.space.alloc(size) for _ in range(n_bufs)]
+            for i, (_, race) in enumerate(plan):
+                addr = bufs[i % n_bufs]
+                if race:
+                    # Recycle one working-set slot while a send on it is
+                    # in flight: revoke, re-register, recover.
+                    ep.ctx.space.write(addr, pattern(size, seed=i))
+                    req = yield from ep.send_offload(addr, size, dst=1,
+                                                     tag=i)
+                    ep.ctx.free(addr)
+                    addr = ep.ctx.space.alloc_like(
+                        pattern(size, seed=i + 100_000))
+                    bufs[i % n_bufs] = addr
+                    yield from ep.wait(req)
+                else:
+                    ep.ctx.space.write(addr, pattern(size, seed=i))
+                    req = yield from ep.send_offload(addr, size, dst=1,
+                                                     tag=i)
+                    yield from ep.wait(req)
+            for addr in bufs:
+                ep.ctx.free(addr)
+
+        def receiver(sim):
+            ep = fw.endpoint(1)
+            bufs = [ep.ctx.space.alloc(size) for _ in range(n_bufs)]
+            for i, (_, race) in enumerate(plan):
+                want_seed = i + 100_000 if race else i
+                if race:
+                    yield sim.timeout(100e-6)
+                addr = bufs[i % n_bufs]
+                req = yield from ep.recv_offload(addr, size, src=0, tag=i)
+                yield from ep.wait(req)
+                got = ep.ctx.space.read(addr, size)
+                assert (got == pattern(size, seed=want_seed)).all(), (
+                    f"cycle {i}: payload corrupted")
+            for addr in bufs:
+                ep.ctx.free(addr)
+
+        run_procs(cl, [sender(sim), receiver(sim)])
+        fw.assert_quiescent()
+        _assert_no_leaks(cl, base)
+        # Eviction churned (working set > capacity) but never corrupted.
+        assert cl.metrics.get("gvmi_cache.host.evict") >= 1
+        assert cl.metrics.get("proxy.stale_keys") >= 1
+        # Trace sweep: ordering, balance, and no use-after-revoke.
+        obs.check()
+
+    def test_staged_oom_degrades_to_host_fallback(self):
+        """A budget too small for the transfer: proxy NACKs, the host
+        falls back to its own rendezvous path, bytes still arrive."""
+        params = MachineParams().with_overrides(dpu_mem_budget=16 * 1024)
+        cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1,
+                                 params=params))
+        fw = OffloadFramework(cl, mode="staged",
+                              retry=RetryPolicy(timeout=500e-6,
+                                                fallback_after=2e-3))
+        size = 64 * 1024  # 4x the whole DPU budget
+        data = pattern(size, seed=9)
+        got = {}
+
+        def sender(sim):
+            ep = fw.endpoint(0)
+            addr = ep.ctx.space.alloc_like(data)
+            req = yield from ep.send_offload(addr, size, dst=1, tag=0)
+            yield from ep.wait(req)
+
+        def receiver(sim):
+            ep = fw.endpoint(1)
+            addr = ep.ctx.space.alloc(size)
+            req = yield from ep.recv_offload(addr, size, src=0, tag=0)
+            yield from ep.wait(req)
+            got["data"] = ep.ctx.space.read(addr, size)
+
+        run_procs(cl, [sender(cl.sim), receiver(cl.sim)])
+        assert (got["data"] == data).all()
+        assert cl.metrics.get("proxy.oom_degrades") >= 1
+        assert cl.metrics.get("offload.oom_fallbacks") >= 1
+
+    def test_soak_covers_acceptance_floor(self):
+        """The two soaks together must clear ISSUE.md's 2000 cycles."""
+        assert STAGED_CYCLES + GVMI_CYCLES >= 2000
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
