@@ -1,0 +1,44 @@
+"""Engine microbenchmarks under pytest-benchmark.
+
+Run with ``python -m pytest benchmarks/bench_engine.py``.  The same
+measurements back ``runall --bench`` (which writes the committed
+``results/BENCH_engine.json`` baseline); here pytest-benchmark adds its
+own statistics and comparison tooling for interactive use.
+"""
+
+import pytest
+
+from repro.experiments import benchkit
+
+
+@pytest.mark.parametrize("name", sorted(benchkit.MICROBENCHES))
+def test_engine_microbench(benchmark, name):
+    fn = benchkit.MICROBENCHES[name]
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    assert result["value"] > 0, f"{name} measured nothing"
+
+
+def test_snapshot_roundtrip():
+    """The snapshot schema feeds the CI gate: compare must be clean
+    against itself and flag an obvious regression."""
+    snap = {
+        "schema": benchkit.SCHEMA,
+        "microbenchmarks": {
+            "event_throughput": {"value": 1000.0, "unit": "events/s",
+                                 "direction": "higher"},
+        },
+        "figures": {"fig13": {"value": 10.0, "unit": "s",
+                              "direction": "lower"}},
+    }
+    assert benchkit.compare_snapshots(snap, snap) == []
+    slower = {
+        "schema": benchkit.SCHEMA,
+        "microbenchmarks": {
+            "event_throughput": {"value": 500.0, "unit": "events/s",
+                                 "direction": "higher"},
+        },
+        "figures": {"fig13": {"value": 20.0, "unit": "s",
+                              "direction": "lower"}},
+    }
+    failures = benchkit.compare_snapshots(snap, slower, threshold=0.20)
+    assert len(failures) == 2

@@ -18,6 +18,22 @@ import pytest
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def _write_if_changed(path: Path, text: str) -> bool:
+    """Write ``text`` to ``path`` only when the content differs.
+
+    Keeps an unchanged benchmark run from dirtying the checked-in
+    ``results/`` snapshots (mtime churn shows up as spurious diffs in
+    build tooling).  Returns True when the file was (re)written.
+    """
+    try:
+        if path.read_text() == text:
+            return False
+    except OSError:
+        pass
+    path.write_text(text)
+    return True
+
+
 @pytest.fixture(scope="session")
 def scale() -> str:
     return os.environ.get("REPRO_SCALE", "quick")
@@ -36,7 +52,8 @@ def run_figure(benchmark, scale):
         print(fig.render())
         if RESULTS_DIR.is_dir():
             snap = {"schema": "repro.obs/1", **fig.to_dict()}
-            (RESULTS_DIR / f"{fig.fig_id}.json").write_text(
+            _write_if_changed(
+                RESULTS_DIR / f"{fig.fig_id}.json",
                 json.dumps(snap, indent=2, sort_keys=True) + "\n")
         failed = [c for c in fig.checks if not c.passed]
         assert not failed, f"{fig.fig_id}: failed checks {[c.name for c in failed]}"

@@ -6,6 +6,12 @@ Options:
     --out DIR        also write each table to DIR/figNN.txt plus a JSON
                      metrics snapshot (series + counters/histograms) to
                      DIR/figNN.json
+    --bench          after the figures, run the engine microbenchmarks
+                     and write a BENCH_engine.json snapshot (schema +
+                     commit stamp + per-figure wall-clock seconds) to
+                     the --out directory (default results/)
+    --profile        run each figure under cProfile and print the top
+                     25 functions by cumulative time
 
 A crash in one figure no longer aborts the batch: the error is
 reported, the remaining figures still run, and the exit status is
@@ -15,6 +21,7 @@ non-zero with a per-figure pass/fail summary at the end.
 from __future__ import annotations
 
 import argparse
+import gc
 import importlib
 import json
 import sys
@@ -28,14 +35,45 @@ from repro.hw import memory as hw_memory
 __all__ = ["main", "run_figures", "run_one"]
 
 
-def run_one(name: str, scale: str = "quick"):
-    """Run one figure module; returns ``(figure, None)`` or ``(None, exc)``."""
+def run_one(name: str, scale: str = "quick", profile: bool = False):
+    """Run one figure module; returns ``(figure, None)`` or ``(None, exc)``.
+
+    With ``profile=True`` the figure runs under cProfile and the top 25
+    functions by cumulative time are printed to stderr.
+    """
     try:
         module = importlib.import_module(f"repro.experiments.{name}")
         hw_memory.reset_peak_stats()
+        # The simulators allocate millions of short-lived objects; the
+        # cyclic collector's generation-0 sweeps cost several percent of
+        # figure wall-clock while collecting almost nothing (the event
+        # structures are acyclic and freed by refcount).  Pause it for
+        # the run and do one catch-up collection after.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         t0 = time.time()
-        fig = module.run(scale=scale)
+        try:
+            if profile:
+                import cProfile
+                import pstats
+
+                profiler = cProfile.Profile()
+                profiler.enable()
+                try:
+                    fig = module.run(scale=scale)
+                finally:
+                    profiler.disable()
+                    print(f"--- {name}: top 25 by cumulative time ---",
+                          file=sys.stderr)
+                    pstats.Stats(profiler, stream=sys.stderr) \
+                        .sort_stats("cumulative").print_stats(25)
+            else:
+                fig = module.run(scale=scale)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         fig.config.setdefault("wall_seconds", round(time.time() - t0, 1))
+        gc.collect()
         # Peak resident bytes per side across every cluster this figure
         # built -- the memory-footprint row of the snapshot artifact.
         fig.metrics.setdefault("peak_resident_bytes", hw_memory.peak_stats())
@@ -60,6 +98,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("figures", nargs="*", help="figNN prefixes to run (default: all)")
     parser.add_argument("--scale", default="quick", choices=["quick", "paper"])
     parser.add_argument("--out", default=None, help="directory for per-figure text tables")
+    parser.add_argument("--bench", action="store_true",
+                        help="also run engine microbenchmarks and write BENCH_engine.json")
+    parser.add_argument("--profile", action="store_true",
+                        help="run each figure under cProfile (top 25 cumulative)")
     args = parser.parse_args(argv)
 
     if args.figures:
@@ -78,8 +120,9 @@ def main(argv: list[str] | None = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     statuses: list[tuple[str, str]] = []
+    fig_walls: dict[str, float] = {}
     for name in selected:
-        fig, exc = run_one(name, scale=args.scale)
+        fig, exc = run_one(name, scale=args.scale, profile=args.profile)
         if exc is not None:
             print(f"{name}: CRASHED: {exc!r}", file=sys.stderr)
             traceback.print_exception(exc, file=sys.stderr)
@@ -93,7 +136,20 @@ def main(argv: list[str] | None = None) -> int:
             snap = {"schema": "repro.obs/1", **fig.to_dict()}
             (out_dir / f"{fig.fig_id}.json").write_text(
                 json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        fig_walls[fig.fig_id] = fig.config.get("wall_seconds", 0.0)
         statuses.append((name, "pass" if fig.all_passed else "shape-fail"))
+
+    if args.bench:
+        from repro.experiments import benchkit
+
+        print("running engine microbenchmarks...")
+        snap = benchkit.collect_snapshot(
+            figure_walls=fig_walls, scale=args.scale, verbose=True)
+        bench_dir = out_dir if out_dir else Path("results")
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        bench_path = bench_dir / "BENCH_engine.json"
+        bench_path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {bench_path}")
 
     bad = [(name, status) for name, status in statuses if status != "pass"]
     if bad:

@@ -32,6 +32,16 @@ class Cluster:
         #: Optional :class:`~repro.obs.events.EventBus`; set by
         #: ``EventBus.attach`` (or ``repro.obs.observe_cluster``).
         self.bus = None
+        #: Optional :class:`~repro.hw.trace.Tracer`; set by
+        #: ``Tracer.attach``.  Declared here so the hot consume/transfer
+        #: paths can test it with a plain attribute load.
+        self.tracer = None
+        #: When False, deliveries skip moving real bytes (perf-only
+        #: sweeps whose programs never read the payload buffers set
+        #: this; validation programs leave it True).  Simulated timing
+        #: is computed from sizes, never from buffer contents, so this
+        #: cannot change any simulated result.
+        self.payloads = True
 
         self.nodes: list[Node] = [Node(self, n) for n in range(spec.nodes)]
         self.fabric = Fabric(self.sim, [n.hca for n in self.nodes], self.params,

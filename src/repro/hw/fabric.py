@@ -14,6 +14,21 @@ wire, serialize into the destination (rx), deliver.  Dense patterns
 and -- crucially -- a sender blocked by a busy receiver never parks its
 own tx port (no artificial head-of-line blocking; real NICs interleave
 packets of concurrent flows).
+
+Two execution strategies walk that schedule (see docs/PERFORMANCE.md):
+
+* the **fast path** (no FaultPlan, no EventBus, no Tracer) drives the
+  store-and-forward chain as a flat callback state machine -- no
+  generator, no Process wrapper, no end-of-process event;
+* the **slow path** is the original generator process, which is where
+  fault actions, bus emissions and trace arrows hook in.  Attaching
+  observability or fault injection switches every message to it.
+
+Both paths schedule the *same* events at the *same* moments (the fast
+path only removes the no-op process-termination event), so simulated
+timing -- including heap tie-breaks under incast contention -- is
+bit-identical between them.  That invariant is what keeps figure tables
+byte-stable whether or not the run is observed.
 """
 
 from __future__ import annotations
@@ -52,6 +67,147 @@ class Transfer:
     delivered: Event
     completed: Event
     size: int
+    #: Set by ``rdma_read(lazy_payload=True)``: ``(space, addr)`` where
+    #: the bytes actually live, for a follow-on forwarding write.
+    payload_src: Any = None
+
+
+class _TransferRun:
+    """One fault-free transfer driven as a flat callback chain.
+
+    Mirrors the slow path's generator statement by statement: every
+    event is created at exactly the same moment the generator would
+    create it, so heap ``(time, seq)`` ordering -- and therefore all
+    contention tie-breaking under incast -- is bit-identical.  What it
+    drops is the per-message overhead: the generator frame, the Process
+    wrapper and its resume loop, and the process-termination event that
+    nothing ever waits on.
+    """
+
+    __slots__ = (
+        "fabric", "sim", "src_hca", "dst_hca", "serialization", "latency",
+        "size", "kind", "meta", "src_node", "dst_node", "on_deliver",
+        "t_posted", "delivered", "completed", "_req", "_dv",
+    )
+
+    def __init__(self, fabric, src_hca, dst_hca, serialization, latency, size,
+                 kind, meta, src_node, dst_node, on_deliver, t_posted,
+                 delivered, completed):
+        self.fabric = fabric
+        sim = self.sim = fabric.sim
+        self.src_hca = src_hca
+        self.dst_hca = dst_hca
+        self.serialization = serialization
+        self.latency = latency
+        self.size = size
+        self.kind = kind
+        self.meta = meta
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.on_deliver = on_deliver
+        self.t_posted = t_posted
+        self.delivered = delivered
+        self.completed = completed
+        # Same kick-off shape as Process.__init__: an init event at the
+        # current instant, so the tx request happens at the init pop.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._start)
+        sim._schedule(init)
+
+    def _start(self, _ev):
+        req = self._req = self.src_hca.tx.request()
+        req.callbacks.append(self._tx_granted)
+
+    def _tx_granted(self, _ev):
+        self.sim.timeout(self.serialization).callbacks.append(self._tx_done)
+
+    def _tx_done(self, _ev):
+        self.src_hca.tx.release(self._req)
+        self.sim.timeout(self.latency).callbacks.append(self._arrived)
+
+    def _arrived(self, _ev):
+        req = self._req = self.dst_hca.rx.request()
+        req.callbacks.append(self._rx_granted)
+
+    def _rx_granted(self, _ev):
+        self.sim.timeout(self.serialization).callbacks.append(self._deliver)
+
+    def _deliver(self, _ev):
+        sim = self.sim
+        self.dst_hca.rx.release(self._req)
+        dv = self._dv = Delivery(
+            src_node=self.src_node, dst_node=self.dst_node, size=self.size,
+            kind=self.kind, meta=self.meta, time=sim.now, status="ok",
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(dv)
+        self.src_hca.metrics.observe(
+            "fabric.xfer_latency." + self.kind, sim.now - self.t_posted
+        )
+        self.delivered.succeed(dv)
+        sim.timeout(self.fabric.params.ack_latency).callbacks.append(self._acked)
+
+    def _acked(self, _ev):
+        self.completed.succeed(self._dv)
+
+
+class _ControlRun:
+    """One fault-free control message as a flat callback chain.
+
+    Same event-for-event mirroring of the slow path as
+    :class:`_TransferRun` (control has no fault actions, tracing or
+    completion plumbing to carry).
+    """
+
+    __slots__ = (
+        "sim", "src_hca", "dst_hca", "serialization", "latency",
+        "inbox", "msg", "t_posted", "delivered", "_req",
+    )
+
+    def __init__(self, fabric, src_hca, dst_hca, serialization, latency,
+                 inbox, msg, t_posted, delivered):
+        sim = self.sim = fabric.sim
+        self.src_hca = src_hca
+        self.dst_hca = dst_hca
+        self.serialization = serialization
+        self.latency = latency
+        self.inbox = inbox
+        self.msg = msg
+        self.t_posted = t_posted
+        self.delivered = delivered
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._start)
+        sim._schedule(init)
+
+    def _start(self, _ev):
+        req = self._req = self.src_hca.tx.request()
+        req.callbacks.append(self._tx_granted)
+
+    def _tx_granted(self, _ev):
+        self.sim.timeout(self.serialization).callbacks.append(self._tx_done)
+
+    def _tx_done(self, _ev):
+        self.src_hca.tx.release(self._req)
+        self.sim.timeout(self.latency).callbacks.append(self._arrived)
+
+    def _arrived(self, _ev):
+        req = self._req = self.dst_hca.rx.request()
+        req.callbacks.append(self._rx_granted)
+
+    def _rx_granted(self, _ev):
+        self.sim.timeout(self.serialization).callbacks.append(self._deliver)
+
+    def _deliver(self, _ev):
+        self.dst_hca.rx.release(self._req)
+        self.inbox.put(self.msg)
+        self.src_hca.metrics.observe(
+            "fabric.ctrl_latency", self.sim.now - self.t_posted
+        )
+        self.delivered.succeed(self.msg)
 
 
 class Fabric:
@@ -69,17 +225,28 @@ class Fabric:
         #: Optional :class:`~repro.obs.events.EventBus`; set by
         #: ``EventBus.attach``.  None keeps all paths emission-free.
         self.bus = None
+        #: Optional :class:`~repro.hw.trace.Tracer`; set by
+        #: ``Tracer.attach``.
+        self.tracer = None
         # Per-fabric ids tagging bus events so posts/deliveries/
         # completions of one message correlate (deterministic: assigned
         # in post order).
         self._xfer_seq = 0
         self._ctrl_seq = 0
+        # (src, dst) -> one-way latency; the topology is static, so the
+        # hop count never needs recomputing per message.
+        self._lat_cache: dict[tuple[int, int], float] = {}
 
     def one_way_latency(self, src_node: int, dst_node: int) -> float:
-        if src_node == dst_node:
-            return self.params.wire_latency
-        hops = 1 if self.spec is None else self.spec.switch_hops(src_node, dst_node)
-        return self.params.wire_latency + hops * self.params.switch_hop_latency
+        lat = self._lat_cache.get((src_node, dst_node))
+        if lat is None:
+            if src_node == dst_node:
+                lat = self.params.wire_latency
+            else:
+                hops = 1 if self.spec is None else self.spec.switch_hops(src_node, dst_node)
+                lat = self.params.wire_latency + hops * self.params.switch_hop_latency
+            self._lat_cache[(src_node, dst_node)] = lat
+        return lat
 
     def transfer(
         self,
@@ -122,6 +289,17 @@ class Fabric:
         if plan is not None:
             status, extra_delay = plan.transfer_fate(kind, initiator, src_node, dst_node)
 
+        if plan is None and bus is None and self.tracer is None:
+            _TransferRun(
+                self, src_hca, dst_hca,
+                src_hca.serialization_time(size, initiator, src_mem, dst_mem)
+                / max(1e-9, bw_scale),
+                self.one_way_latency(src_node, dst_node),
+                size, kind, meta, src_node, dst_node, on_deliver, t_posted,
+                delivered, completed,
+            )
+            return Transfer(delivered=delivered, completed=completed, size=size)
+
         def _run():
             serialization = src_hca.serialization_time(
                 size, initiator, src_mem, dst_mem
@@ -151,9 +329,8 @@ class Fabric:
             # An error CQE moves no bytes: skip the payload callback.
             if on_deliver is not None and status == "ok":
                 on_deliver(dv)
-            tracer = getattr(self, "tracer", None)
-            if tracer is not None:
-                tracer.record_arrow(
+            if self.tracer is not None:
+                self.tracer.record_arrow(
                     f"node{src_node}", f"node{dst_node}", size, kind,
                     t_posted, self.sim.now,
                 )
@@ -223,6 +400,14 @@ class Fabric:
         action, extra_delay = "deliver", 0.0
         if plan is not None:
             action, extra_delay = plan.control_fate(kind, src_node, dst_node)
+
+        if plan is None and bus is None:
+            _ControlRun(
+                self, src_hca, dst_hca,
+                src_hca.serialization_time(nbytes, initiator, src_mem, dst_mem),
+                latency, inbox, msg, t_posted, delivered,
+            )
+            return delivered
 
         def _run():
             serialization = src_hca.serialization_time(nbytes, initiator, src_mem, dst_mem)

@@ -63,6 +63,23 @@ class OutOfMemoryError(MemoryError):
         )
 
 
+_UINT8 = np.dtype(np.uint8)
+
+
+def _as_raw_bytes(data: np.ndarray) -> np.ndarray:
+    """``data`` as a flat, contiguous uint8 array -- without copying when
+    it already is one (the dominant data-plane case: views handed out by
+    :meth:`AddressSpace.read`)."""
+    if (
+        type(data) is np.ndarray
+        and data.dtype == _UINT8
+        and data.ndim == 1
+        and data.flags.c_contiguous
+    ):
+        return data
+    return np.ascontiguousarray(data).view(_UINT8).reshape(-1)
+
+
 def pages_spanned(addr: int, size: int) -> int:
     """Number of pages the byte range [addr, addr+size) touches."""
     if size <= 0:
@@ -137,9 +154,14 @@ class AddressSpace:
         else:
             addr = self._next
             self._next += step
-        buf = np.zeros(size, dtype=np.uint8)
         if fill is not None:
+            buf = np.zeros(size, dtype=np.uint8)
             buf[:] = fill
+        else:
+            # Lazy backing: the array is materialised (zero-filled) on
+            # first access (see _materialize).  Timing-only runs allocate
+            # thousands of buffers nobody ever reads or writes.
+            buf = None
         self._buffers[addr] = buf
         self._sizes[addr] = size
         self.allocated_bytes += size
@@ -152,9 +174,9 @@ class AddressSpace:
 
     def alloc_like(self, array: np.ndarray) -> int:
         """Allocate a buffer holding a copy of ``array``'s bytes."""
-        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        raw = _as_raw_bytes(array)
         addr = self.alloc(raw.nbytes)
-        self._buffers[addr][:] = raw
+        self._materialize(addr)[:] = raw
         return addr
 
     def free(self, addr: int) -> None:
@@ -188,6 +210,13 @@ class AddressSpace:
                 return base
         return None
 
+    def _materialize(self, base: int) -> np.ndarray:
+        """The backing array for ``base``, creating it on first access."""
+        buf = self._buffers[base]
+        if buf is None:
+            buf = self._buffers[base] = np.zeros(self._sizes[base], dtype=np.uint8)
+        return buf
+
     def view(self, addr: int, size: int) -> np.ndarray:
         """A mutable uint8 view of [addr, addr+size)."""
         base = self._find_base(addr)
@@ -199,16 +228,42 @@ class AddressSpace:
                 f"{self.owner}: range [{addr:#x}, +{size}) overruns allocation "
                 f"of {self._sizes[base]} bytes at {base:#x}"
             )
-        return self._buffers[base][off : off + size]
+        return self._materialize(base)[off : off + size]
 
     def write(self, addr: int, data: np.ndarray) -> None:
-        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
-        self.view(addr, raw.nbytes)[:] = raw
+        """Copy ``data``'s bytes into [addr, addr+len).
+
+        Safe against overlap: when ``data`` is a view of this same
+        buffer range (``read`` returns zero-copy views), the source is
+        snapshotted first, so ``write(dst, read(src, n))`` behaves like
+        ``memmove`` even for overlapping local copies.
+        """
+        raw = _as_raw_bytes(data)
+        dst = self.view(addr, raw.nbytes)
+        if np.may_share_memory(dst, raw):
+            raw = raw.copy()
+        dst[:] = raw
 
     def read(self, addr: int, size: int) -> np.ndarray:
-        """A *copy* of [addr, addr+size)."""
+        """A read-only, zero-copy view of [addr, addr+size).
+
+        The view aliases the live buffer: it observes later writes to
+        the range.  Callers that need snapshot semantics (e.g. an eager
+        send capturing bytes while the app may overwrite the buffer)
+        must use :meth:`read_copy` (see docs/PERFORMANCE.md for the
+        aliasing rules).
+        """
+        v = self.view(addr, size)
+        v.flags.writeable = False
+        return v
+
+    def read_copy(self, addr: int, size: int) -> np.ndarray:
+        """A mutable *copy* of [addr, addr+size) (snapshot semantics)."""
         return self.view(addr, size).copy()
 
     def read_as(self, addr: int, dtype, count: int) -> np.ndarray:
+        """A read-only, zero-copy ``dtype`` view of ``count`` items."""
         nbytes = np.dtype(dtype).itemsize * count
-        return self.view(addr, nbytes).copy().view(dtype)
+        v = self.view(addr, nbytes).view(dtype)
+        v.flags.writeable = False
+        return v

@@ -53,6 +53,26 @@ class Hca:
         self.rx = Resource(sim, capacity=1)
         #: Optional :class:`~repro.obs.events.EventBus`.
         self.bus = None
+        # Hot-path lookup tables (params are immutable for a run): the
+        # cost helpers below stay the validating API; these serve
+        # serialization_time/count_post without per-message branching.
+        self._gap = {
+            "host": params.host_injection_gap,
+            "dpu": params.dpu_injection_gap,
+        }
+        self._bw = {
+            (s, d): min(
+                self.memory_bandwidth(s),
+                params.wire_bandwidth,
+                self.memory_bandwidth(d),
+            )
+            for s in MEM_KINDS
+            for d in MEM_KINDS
+        }
+        self._post_labels = {
+            kind: (f"nic.{kind}_posted_msgs", f"nic.{kind}_posted_bytes")
+            for kind in INITIATOR_KINDS
+        }
 
     # -- cost helpers -----------------------------------------------------
     def injection_gap(self, initiator: str) -> float:
@@ -87,13 +107,26 @@ class Hca:
         self, size: int, initiator: str, src_mem: str, dst_mem: str
     ) -> float:
         """Port occupancy of one message."""
-        gap = self.injection_gap(initiator)
-        bw = self.path_bandwidth(src_mem, dst_mem)
+        try:
+            gap = self._gap[initiator]
+        except KeyError:
+            raise ValueError(f"unknown initiator kind {initiator!r}") from None
+        try:
+            bw = self._bw[(src_mem, dst_mem)]
+        except KeyError:
+            # Re-derive through the validating helpers for the error text.
+            bw = self.path_bandwidth(src_mem, dst_mem)
         return max(gap, size / bw)
 
     def count_post(self, initiator: str, size: int) -> None:
-        self.metrics.add(f"nic.{initiator}_posted_msgs")
-        self.metrics.add(f"nic.{initiator}_posted_bytes", size)
+        try:
+            msgs_label, bytes_label = self._post_labels[initiator]
+        except KeyError:
+            msgs_label = f"nic.{initiator}_posted_msgs"
+            bytes_label = f"nic.{initiator}_posted_bytes"
+        metrics = self.metrics
+        metrics.add(msgs_label)
+        metrics.add(bytes_label, size)
         if self.bus is not None:
             self.bus.emit("wqe", "post", f"node{self.node_id}",
                           initiator=initiator, size=size)

@@ -78,7 +78,7 @@ class ProcessContext:
     def consume(self, seconds: float):
         """Occupy this process's core for ``seconds`` (a timeout event)."""
         self.busy_time += seconds
-        tracer = getattr(self.cluster, "tracer", None)
+        tracer = self.cluster.tracer
         if tracer is not None and seconds > 0:
             tracer.record_span(self.trace_name, self.sim.now, self.sim.now + seconds)
         return self.sim.timeout(seconds)

@@ -478,9 +478,10 @@ def _ireduce(rt, comm, root, addr, nbytes):
     def make_accum_round():
         def round_fn(rt: MpiRuntime):
             yield rt.ctx.consume(_reduce_flops_cost(rt, count))
-            acc = rt.ctx.space.read_as(addr, np.float64, count)
-            inc = rt.ctx.space.read_as(scratch, np.float64, count)
-            rt.ctx.space.write(addr, acc + inc)
+            if rt.ctx.cluster.payloads:
+                acc = rt.ctx.space.read_as(addr, np.float64, count)
+                inc = rt.ctx.space.read_as(scratch, np.float64, count)
+                rt.ctx.space.write(addr, acc + inc)
             return []
 
         return round_fn

@@ -44,6 +44,12 @@ class RegistrationCache:
         self.capacity = capacity
         #: Insertion order is LRU order (refreshed on every hit).
         self._entries: dict[tuple[int, int], MemoryRegionHandle] = {}
+        #: Covering-scan memo: request (addr, size) -> entry key, recorded
+        #: only when exactly ONE cached entry covers the request (with two
+        #: or more, the scan's winner depends on LRU order, so memoizing
+        #: it would change behaviour).  Cleared on any structural change
+        #: (insert/evict/invalidate); LRU refreshes keep it valid.
+        self._cover_memo: dict[tuple[int, int], tuple[int, int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -78,7 +84,15 @@ class RegistrationCache:
         key = (addr, size)
         entry = self._entries.get(key)
         if entry is None:
-            key, entry = self._find_covering(addr, size)
+            memo_key = self._cover_memo.get(key)
+            if memo_key is not None:
+                key, entry = memo_key, self._entries[memo_key]
+            else:
+                ckey, entry, unique = self._find_covering_unique(addr, size)
+                if entry is not None:
+                    if unique:
+                        self._cover_memo[key] = ckey
+                    key = ckey
         bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
@@ -97,6 +111,7 @@ class RegistrationCache:
                      cache=f"regcache.{self.name}", size=size)
         handle = yield from reg_mr(self.ctx, addr, size)
         self._entries[(addr, size)] = handle
+        self._cover_memo.clear()
         self._evict_over_capacity()
         return handle
 
@@ -106,6 +121,17 @@ class RegistrationCache:
                 return (base, length), handle
         return None, None
 
+    def _find_covering_unique(self, addr: int, size: int):
+        """First covering entry (LRU order) plus whether it is the only one."""
+        found_key = found = None
+        for (base, length), handle in self._entries.items():
+            if base <= addr and addr + size <= base + length:
+                if found is None:
+                    found_key, found = (base, length), handle
+                else:
+                    return found_key, found, False
+        return found_key, found, found is not None
+
     def _evict_over_capacity(self) -> None:
         if self.capacity is None:
             return
@@ -114,6 +140,7 @@ class RegistrationCache:
         while len(self._entries) > self.capacity:
             victim_key = next(iter(self._entries))
             handle = self._entries.pop(victim_key)
+            self._cover_memo.clear()
             dereg_mr(self.ctx, handle)
             self.evictions += 1
             metrics.add(f"regcache.{self.name}.evict")
@@ -123,7 +150,10 @@ class RegistrationCache:
 
     def invalidate(self, addr: int, size: int) -> bool:
         """Drop one entry (e.g. after a free); True if it existed."""
-        return self._entries.pop((addr, size), None) is not None
+        if self._entries.pop((addr, size), None) is not None:
+            self._cover_memo.clear()
+            return True
+        return False
 
     def invalidate_range(self, addr: int, size: int) -> int:
         """Drop every entry overlapping [addr, addr+size).
@@ -137,6 +167,8 @@ class RegistrationCache:
         ]
         for k in doomed:
             del self._entries[k]
+        if doomed:
+            self._cover_memo.clear()
         return len(doomed)
 
     def _on_free(self, addr: int, size: int) -> None:
@@ -144,3 +176,4 @@ class RegistrationCache:
 
     def clear(self) -> None:
         self._entries.clear()
+        self._cover_memo.clear()

@@ -233,9 +233,15 @@ class MpiRuntime:
 
     def _eager_send(self, env: Envelope, req: MpiRequest) -> None:
         ctx = self.ctx
-        # Copy into the bounce buffer: the snapshot is what eager means.
+        # Copy into the bounce buffer: the snapshot is what eager means,
+        # so this must be read_copy -- the app may overwrite the send
+        # buffer the moment the request completes locally.
         yield ctx.consume(req.size / self.params.copy_bandwidth)
-        payload = ctx.space.read(req.addr, req.size) if req.size else None
+        payload = (
+            ctx.space.read_copy(req.addr, req.size)
+            if req.size and ctx.cluster.payloads
+            else None
+        )
         peer_rt = self.world.runtime(env.dst)
         yield ctx.consume(ctx.hca.post_overhead("host"))
         ctx.cluster.metrics.add("mpi.eager_sends")
@@ -268,8 +274,14 @@ class MpiRuntime:
     def _shm_send(self, env: Envelope, req: MpiRequest) -> None:
         ctx = self.ctx
         p = self.params
+        # Snapshot semantics, as in _eager_send: the sender reuses the
+        # buffer after local completion, so the payload must be a copy.
         yield ctx.consume(p.shm_cpu_cost + req.size / p.copy_bandwidth)
-        payload = ctx.space.read(req.addr, req.size) if req.size else None
+        payload = (
+            ctx.space.read_copy(req.addr, req.size)
+            if req.size and ctx.cluster.payloads
+            else None
+        )
         peer_rt = self.world.runtime(env.dst)
         delay = p.shm_latency + req.size / p.shm_bandwidth
         ctx.cluster.metrics.add("mpi.shm_sends")
@@ -451,5 +463,5 @@ class MpiRuntime:
     def copy_local(self, src_addr: int, dst_addr: int, size: int):
         """memcpy within this rank (self-block of collectives)."""
         yield self.ctx.consume(size / self.params.copy_bandwidth)
-        if size:
+        if size and self.ctx.cluster.payloads:
             self.ctx.space.write(dst_addr, self.ctx.space.read(src_addr, size))

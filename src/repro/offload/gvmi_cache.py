@@ -85,6 +85,11 @@ class HostGvmiCache:
         self._store = _ArrayOfBsts(n_proxies)
         #: LRU order over (slot, addr, size); insertion order = age.
         self._lru: dict[tuple[int, int, int], None] = {}
+        #: Covering-scan memo: (slot, gvmi_id, addr, size) -> entry key,
+        #: recorded only when exactly one cached entry covers the
+        #: request (the scan's winner is order-independent then).
+        #: Cleared on any structural change; LRU touches keep it valid.
+        self._cover_memo: dict[tuple, tuple[int, int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -112,14 +117,25 @@ class HostGvmiCache:
         entry: Optional[KeyInfo] = tree.find((addr, size))
         hit_key = (addr, size)
         if entry is None:
-            # Like production registration caches, a cached mkey whose
-            # range *covers* the request is a hit (HPL's shrinking
-            # panels keep hitting the first, largest registration).
-            for (base, length), info in tree.items():
-                if base <= addr and addr + size <= base + length and info.gvmi_id == gvmi_id:
-                    entry = info
-                    hit_key = (base, length)
-                    break
+            memo_key = self._cover_memo.get((slot, gvmi_id, addr, size))
+            if memo_key is not None:
+                entry = tree.find(memo_key)
+                hit_key = memo_key
+            else:
+                # Like production registration caches, a cached mkey whose
+                # range *covers* the request is a hit (HPL's shrinking
+                # panels keep hitting the first, largest registration).
+                unique = True
+                for (base, length), info in tree.items():
+                    if base <= addr and addr + size <= base + length and info.gvmi_id == gvmi_id:
+                        if entry is None:
+                            entry = info
+                            hit_key = (base, length)
+                        else:
+                            unique = False
+                            break
+                if entry is not None and unique:
+                    self._cover_memo[(slot, gvmi_id, addr, size)] = hit_key
         bus = self.ctx.cluster.bus
         if entry is not None:
             self.hits += 1
@@ -136,6 +152,7 @@ class HostGvmiCache:
                      cache="gvmi.host", size=size)
         info = yield from host_gvmi_register(self.ctx, addr, size, gvmi_id)
         tree.insert((addr, size), info)
+        self._cover_memo.clear()
         self._touch(slot, addr, size)
         self._evict_over_capacity()
         return info
@@ -151,6 +168,7 @@ class HostGvmiCache:
         while len(self._lru) > self.capacity:
             slot, base, length = next(iter(self._lru))
             del self._lru[(slot, base, length)]
+            self._cover_memo.clear()
             tree = self._store.tree(slot)
             info = tree.find((base, length))
             tree.remove((base, length))
@@ -168,6 +186,7 @@ class HostGvmiCache:
     def invalidate(self, proxy_rank: int, addr: int, size: int) -> bool:
         t = self._store._slots[proxy_rank]
         self._lru.pop((proxy_rank, addr, size), None)
+        self._cover_memo.clear()
         return bool(t and t.remove((addr, size)))
 
     def invalidate_range(self, addr: int, size: int) -> int:
@@ -189,6 +208,8 @@ class HostGvmiCache:
                 tree.remove(key)
                 self._lru.pop((slot, *key), None)
                 dropped += 1
+        if dropped:
+            self._cover_memo.clear()
         return dropped
 
     def _on_free(self, addr: int, size: int) -> None:

@@ -12,8 +12,9 @@ registered callback (usually suspended processes).
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = [
@@ -118,12 +119,21 @@ class Event:
 
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Mark the event successful and schedule it at the current time."""
+        """Mark the event successful and schedule it at the current time.
+
+        The schedule step is inlined (this is the hottest trigger path);
+        it must stay equivalent to :meth:`Simulator._schedule` with zero
+        delay.
+        """
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already scheduled")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        self._scheduled = True
+        sim = self.sim
+        heappush(sim._heap, (sim._now, next(sim._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -155,29 +165,45 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` seconds in the future."""
+    """An event that fires automatically ``delay`` seconds in the future.
+
+    Construction is deliberately flat (no ``super().__init__`` chain, the
+    heap push inlined): timeouts dominate event traffic, and
+    :meth:`Simulator.timeout` additionally recycles processed instances
+    through a free list, so this constructor only runs on pool misses.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        self.sim._schedule(self, delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay
+        heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
 
 
 class _Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf`."""
 
-    __slots__ = ("_events", "_count")
+    __slots__ = ("_events", "_count", "_results")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = tuple(events)
         self._count = 0
+        # Child outcomes accumulate here as each child fires; the dict is
+        # handed over wholesale at satisfaction time.  (The previous
+        # implementation rebuilt it from scratch inside every _check,
+        # which made an n-way barrier O(n^2) in its children.)  Only
+        # children that have actually *fired* ever appear: a pending
+        # Timeout is "triggered" from creation but must not show up.
+        self._results: dict[Event, Any] = {}
         for ev in self._events:
             if ev.sim is not sim:
                 raise SimulationError("events from different simulators")
@@ -186,17 +212,9 @@ class _Condition(Event):
             if ev.processed:
                 self._check(ev)
             else:
-                assert ev.callbacks is not None
                 ev.callbacks.append(self._check)
         if not self._events and self._value is PENDING:
-            self.succeed(self._collect())
-
-    def _collect(self) -> dict[Event, Any]:
-        # Only children that have actually *fired* (Simulator.step clears
-        # ``callbacks`` before running them, so during a child's callback
-        # the child already reports processed).  A pending Timeout is
-        # "triggered" from creation but must not appear here.
-        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+            self.succeed(self._results)
 
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -208,8 +226,9 @@ class _Condition(Event):
             self.fail(event._value)
             return
         self._count += 1
+        self._results[event] = event._value
         if self._satisfied():
-            self.succeed(self._collect())
+            self.succeed(self._results)
 
     def _satisfied(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -243,6 +262,10 @@ class Simulator:
         sim.run()
     """
 
+    #: Upper bound on the Timeout free list; past this, processed
+    #: timeouts are simply dropped to the allocator.
+    _TIMEOUT_POOL_MAX = 256
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
@@ -250,6 +273,10 @@ class Simulator:
         #: Optional :class:`~repro.obs.events.EventBus`; ``None`` keeps
         #: the kernel entirely observation-free.
         self.bus = None
+        #: Free lists of processed, unreferenced Timeout / plain Event
+        #: instances (see :meth:`step` for the recycling condition).
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
         #: Number of events processed so far (diagnostics/determinism tests).
         self.processed_events: int = 0
         #: Deadlock diagnostics: callables returning lines describing
@@ -278,9 +305,26 @@ class Simulator:
 
     # -- event factories ------------------------------------------------
     def event(self) -> Event:
+        pool = self._event_pool
+        if pool:
+            # Recycled instances are fully reset to pending state at
+            # recycle time (see the pool branch in :meth:`step`).
+            return pool.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay!r}")
+            t = pool.pop()
+            # callbacks is already an (empty, reused) list; _ok is True.
+            t.delay = delay
+            t._value = value
+            t._scheduled = True
+            t._defused = False
+            heappush(self._heap, (self._now + delay, next(self._seq), t))
+            return t
         return Timeout(self, delay, value)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -290,48 +334,138 @@ class Simulator:
         return AnyOf(self, events)
 
     def process(self, generator) -> "Process":
-        from repro.sim.process import Process
-
-        return Process(self, generator)
+        cls = _process_cls()
+        return cls(self, generator)
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def _schedule_at(self, event: Event, when: float) -> None:
+        """Schedule at an *absolute* time (fast-path use).
+
+        Closed-form paths that precompute a chain of hop times must
+        schedule at the exact floats of that chain: going through a
+        relative delay (``now + (when - now)``) re-rounds and can drift
+        from the step-by-step path by an ulp.
+        """
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        if when < self._now:
+            raise SimulationError("cannot schedule into the past")
+        event._scheduled = True
+        heappush(self._heap, (when, next(self._seq), event))
 
     def step(self) -> None:
         """Pop and process one event."""
-        when, _, event = heapq.heappop(self._heap)
+        when, _, event = heappop(self._heap)
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
-        assert callbacks is not None
-        for cb in callbacks:
-            cb(event)
+        if len(callbacks) == 1:
+            # Dominant case: exactly one waiter (a suspended process).
+            callbacks[0](event)
+        else:
+            for cb in callbacks:
+                cb(event)
         self.processed_events += 1
         if not event._ok and not event._defused:
             # A failure that nothing consumed: crash loudly rather than
             # silently losing the exception.
-            exc = event._value
-            raise exc
+            raise event._value
+        # Recycle fully-consumed timeouts and plain events.  getrefcount
+        # == 2 means the only references left are our local `event` and
+        # the getrefcount argument itself: no process, condition, or
+        # user code still holds the object (both classes use __slots__
+        # with no weakref slot, so there is no hidden aliasing).  The
+        # emptied callbacks list is reused too, so a pooled instance
+        # costs zero allocations.
+        cls = type(event)
+        if cls is Timeout:
+            if getrefcount(event) == 2:
+                pool = self._timeout_pool
+                if len(pool) < self._TIMEOUT_POOL_MAX:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = None
+                    event._scheduled = False
+                    pool.append(event)
+        elif cls is Event:
+            if getrefcount(event) == 2:
+                pool = self._event_pool
+                if len(pool) < self._TIMEOUT_POOL_MAX:
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                    event._value = PENDING
+                    event._ok = True
+                    event._scheduled = False
+                    event._defused = False
+                    pool.append(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the heap is empty, a deadline passes, or an event fires.
 
         ``until`` may be a time (run up to and including that instant) or
         an :class:`Event` (run until it is processed; returns its value).
+
+        The body of :meth:`step` is inlined into both loops below (with
+        the heap, pool and helpers bound to locals): the loop runs once
+        per simulated event, and the per-iteration call/attribute
+        overhead of delegating to ``step`` is the single largest fixed
+        cost of the engine.  Any change here must be mirrored in
+        :meth:`step`, which remains the single-event API.
         """
+        heap = self._heap
+        t_pool = self._timeout_pool
+        e_pool = self._event_pool
+        pool_max = self._TIMEOUT_POOL_MAX
+        timeout_cls = Timeout
+        event_cls = Event
+        refcount = getrefcount
         if isinstance(until, Event):
             sentinel = until
             if sentinel.processed:
                 return sentinel._value if sentinel._ok else None
             stop: list[Any] = []
             assert sentinel.callbacks is not None
-            sentinel.callbacks.append(lambda ev: stop.append(ev))
-            while self._heap and not stop:
-                self.step()
+            sentinel.callbacks.append(stop.append)
+            processed = self.processed_events
+            try:
+                while heap and not stop:
+                    when, _, event = heappop(heap)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+                    processed += 1
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    cls = type(event)
+                    if cls is timeout_cls:
+                        if refcount(event) == 2 and len(t_pool) < pool_max:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._value = None
+                            event._scheduled = False
+                            t_pool.append(event)
+                    elif cls is event_cls:
+                        if refcount(event) == 2 and len(e_pool) < pool_max:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._value = PENDING
+                            event._ok = True
+                            event._scheduled = False
+                            event._defused = False
+                            e_pool.append(event)
+            finally:
+                self.processed_events = processed
             if not stop:
                 reports = self._deadlock_reports()
                 if self.bus is not None:
@@ -346,8 +480,55 @@ class Simulator:
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
             raise ValueError("cannot run into the past")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        processed = self.processed_events
+        try:
+            while heap and heap[0][0] <= deadline:
+                when, _, event = heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                processed += 1
+                if not event._ok and not event._defused:
+                    raise event._value
+                cls = type(event)
+                if cls is timeout_cls:
+                    if refcount(event) == 2 and len(t_pool) < pool_max:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = None
+                        event._scheduled = False
+                        t_pool.append(event)
+                elif cls is event_cls:
+                    if refcount(event) == 2 and len(e_pool) < pool_max:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = PENDING
+                        event._ok = True
+                        event._scheduled = False
+                        event._defused = False
+                        e_pool.append(event)
+        finally:
+            self.processed_events = processed
         if until is not None:
             self._now = deadline
         return None
+
+
+_PROCESS_CLS = None
+
+
+def _process_cls():
+    # Lazy, cached import: repro.sim.process imports this module, so the
+    # class cannot be imported at module load, but resolving it through
+    # the import machinery on every Simulator.process call is measurable.
+    global _PROCESS_CLS
+    if _PROCESS_CLS is None:
+        from repro.sim.process import Process
+
+        _PROCESS_CLS = Process
+    return _PROCESS_CLS

@@ -42,8 +42,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         if sim.bus is not None:
             sim.bus.emit("proc", "start", "sim", name=self.name)
-        # Kick off at the current instant via an initialisation event.
-        init = Event(sim)
+        # Kick off at the current instant via an initialisation event
+        # (pool-recycled: nothing holds it after the kick-off pop).
+        init = sim.event()
         init._ok = True
         init._value = None
         init.callbacks.append(self._resume)
@@ -81,17 +82,22 @@ class Process(Event):
 
     # -- engine --------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # The hottest frame in the simulator: locals are bound once and
+        # the generator's bound methods reused across the resume loop.
         self._target = None
+        gen = self._generator
+        send = gen.send
+        sim = self.sim
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = send(event._value)
                 else:
                     event._defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = gen.throw(event._value)
             except StopIteration as stop:
-                if self.sim.bus is not None:
-                    self.sim.bus.emit("proc", "end", "sim", name=self.name)
+                if sim.bus is not None:
+                    sim.bus.emit("proc", "end", "sim", name=self.name)
                 self.succeed(stop.value)
                 return
             except BaseException as exc:
@@ -103,24 +109,24 @@ class Process(Event):
                     f"process {self.name!r} yielded a non-event: {next_target!r}"
                 )
                 try:
-                    self._generator.throw(exc)
+                    gen.throw(exc)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                 except BaseException as err:
                     self.fail(err)
                 return
-            if next_target.sim is not self.sim:
+            if next_target.sim is not sim:
                 raise SimulationError("yielded an event from a different simulator")
 
-            if next_target.processed:
+            cbs = next_target.callbacks
+            if cbs is None:
                 # Already fired and delivered: loop immediately with its
                 # outcome.  (A merely *triggered* event -- e.g. a pending
                 # Timeout, whose value exists from creation -- must still
                 # be waited on so simulated time advances to its firing.)
                 event = next_target
                 continue
-            assert next_target.callbacks is not None
-            next_target.callbacks.append(self._resume)
+            cbs.append(self._resume)
             self._target = next_target
             return
 

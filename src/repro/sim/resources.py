@@ -10,20 +10,42 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Optional
 
-from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.core import PENDING, Event, SimulationError, Simulator
+
+# NOTE on the inlined triggers below: granting a request / admitting an
+# item calls Event.succeed once per port acquisition or store message,
+# which makes the trigger itself a hot path.  The succeed body (value +
+# schedule + heap push) is therefore inlined at the internal call sites
+# in this module; the guard checks are skipped because the surrounding
+# data structures guarantee each event is granted exactly once (a
+# Request leaves the queue when granted, a putter/getter leaves its
+# list when served).  Any change here must stay equivalent to
+# Event.succeed.
 
 __all__ = ["Resource", "Store", "PriorityStore"]
 
 
 class Request(Event):
-    """Pending claim on a :class:`Resource`."""
+    """Pending claim on a :class:`Resource`.
+
+    Construction is flattened (no ``super().__init__`` chain): one
+    Request is minted per port acquisition, which puts this on the
+    per-message hot path.
+    """
 
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
         self.resource = resource
 
 
@@ -45,7 +67,7 @@ class Resource:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
-        self._queue: list[Request] = []
+        self._queue: deque[Request] = deque()
         self._users: set[Request] = set()
 
     @property
@@ -60,25 +82,46 @@ class Resource:
 
     def request(self) -> Request:
         req = Request(self)
-        self._queue.append(req)
-        self._grant()
+        users = self._users
+        if not self._queue and len(users) < self.capacity:
+            # Uncontended fast path: grant immediately.  Identical event
+            # order to append + _grant (which would pop this same request
+            # and succeed it in the same moment).
+            users.add(req)
+            req._value = req
+            req._scheduled = True
+            sim = self.sim
+            heappush(sim._heap, (sim._now, next(sim._seq), req))
+        else:
+            self._queue.append(req)
+            self._grant()
         return req
 
     def release(self, request: Request) -> None:
-        if request in self._users:
+        try:
             self._users.remove(request)
-        elif request in self._queue:
-            # Cancelled before it was granted.
-            self._queue.remove(request)
-        else:
-            raise SimulationError("releasing a request this resource never granted")
+        except KeyError:
+            if request in self._queue:
+                # Cancelled before it was granted.
+                self._queue.remove(request)
+            else:
+                raise SimulationError(
+                    "releasing a request this resource never granted") from None
         self._grant()
 
     def _grant(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            req = self._queue.pop(0)
-            self._users.add(req)
-            req.succeed(req)
+        queue = self._queue
+        if not queue:
+            return
+        users = self._users
+        capacity = self.capacity
+        sim = self.sim
+        while queue and len(users) < capacity:
+            req = queue.popleft()
+            users.add(req)
+            req._value = req
+            req._scheduled = True
+            heappush(sim._heap, (sim._now, next(sim._seq), req))
 
 
 class Store:
@@ -91,7 +134,7 @@ class Store:
         self.capacity = capacity
         self._items: list[Any] = []
         self._getters: list[tuple[Event, Optional[Callable[[Any], bool]]]] = []
-        self._putters: list[tuple[Event, Any]] = []
+        self._putters: deque[tuple[Event, Any]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -103,16 +146,42 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Insert ``item``; the returned event fires when it is accepted."""
-        ev = Event(self.sim)
-        self._putters.append((ev, item))
-        self._dispatch()
+        ev = self.sim.event()
+        if not self._putters and len(self._items) < self.capacity:
+            # Fast path: admit directly.  Same succeed order as the
+            # general loop (_dispatch admits putters before it serves
+            # getters, so the put event always fires first).
+            self._items.append(item)
+            ev._value = item
+            ev._scheduled = True
+            sim = self.sim
+            heappush(sim._heap, (sim._now, next(sim._seq), ev))
+            if self._getters:
+                self._dispatch()
+        else:
+            self._putters.append((ev, item))
+            self._dispatch()
         return ev
 
     def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
         """Pop the first item (optionally the first matching ``filt``)."""
-        ev = Event(self.sim)
-        self._getters.append((ev, filt))
-        self._dispatch()
+        ev = self.sim.event()
+        if filt is None and not self._getters and self._items:
+            # Fast path: nobody queued ahead and an item is ready.  A
+            # pending putter implies the store is at capacity, so the
+            # general loop would likewise serve this getter first and
+            # only then admit the freed slot.
+            item = self._items[0]
+            del self._items[0]
+            ev._value = item
+            ev._scheduled = True
+            sim = self.sim
+            heappush(sim._heap, (sim._now, next(sim._seq), ev))
+            if self._putters:
+                self._admit_putters()
+        else:
+            self._getters.append((ev, filt))
+            self._dispatch()
         return ev
 
     def cancel(self, get_event: Event) -> bool:
@@ -139,29 +208,34 @@ class Store:
 
     def _admit_putters(self) -> None:
         while self._putters and len(self._items) < self.capacity:
-            ev, item = self._putters.pop(0)
+            ev, item = self._putters.popleft()
             self._items.append(item)
-            ev.succeed(item)
+            ev._value = item
+            ev._scheduled = True
+            sim = self.sim
+            heappush(sim._heap, (sim._now, next(sim._seq), ev))
 
     def _dispatch(self) -> None:
-        progress = True
-        while progress:
-            progress = False
+        # Serve getters in FIFO order; a blocked filter-getter does not
+        # block later getters (needed for tag matching).  Event.succeed
+        # only schedules -- callbacks run at a later step() -- so no
+        # reentrant mutation can happen mid-scan and the lists can be
+        # indexed directly instead of snapshotted each round.
+        while True:
             self._admit_putters()
-            # Serve getters in FIFO order; a blocked filter-getter does not
-            # block later getters (needed for tag matching).
-            for gi, (gev, filt) in enumerate(list(self._getters)):
-                served = False
+            served = False
+            for gi, (gev, filt) in enumerate(self._getters):
                 for ii, item in enumerate(self._items):
                     if filt is None or filt(item):
                         del self._items[ii]
-                        self._getters.remove((gev, filt))
+                        del self._getters[gi]
                         gev.succeed(item)
                         served = True
                         break
                 if served:
-                    progress = True
                     break
+            if not served:
+                return
 
 
 class PriorityStore(Store):
@@ -174,18 +248,26 @@ class PriorityStore(Store):
         super().__init__(sim, capacity)
         self._counter = itertools.count()
 
+    # Heap-ordered items: the FIFO fast paths in Store.put/get (plain
+    # append / items[0] pop) would corrupt the heap, so both fall back
+    # to the general putter/getter machinery here.
     def put(self, item: Any) -> Event:
-        return super().put(item)
+        ev = self.sim.event()
+        self._putters.append((ev, item))
+        self._dispatch()
+        return ev
+
+    def get(self, filt: Optional[Callable[[Any], bool]] = None) -> Event:
+        ev = self.sim.event()
+        self._getters.append((ev, filt))
+        self._dispatch()
+        return ev
 
     def _admit_putters(self) -> None:
-        changed = False
         while self._putters and len(self._items) < self.capacity:
-            ev, item = self._putters.pop(0)
+            ev, item = self._putters.popleft()
             heapq.heappush(self._items, item)
             ev.succeed(item)
-            changed = True
-        if changed:
-            pass
 
     def try_get(self, filt: Optional[Callable[[Any], bool]] = None) -> tuple[bool, Any]:
         if filt is None:
@@ -205,14 +287,15 @@ class PriorityStore(Store):
         return False, None
 
     def _dispatch(self) -> None:
-        progress = True
-        while progress:
-            progress = False
+        while True:
             self._admit_putters()
-            for gev, filt in list(self._getters):
+            served = False
+            for gi, (gev, filt) in enumerate(self._getters):
                 ok, item = self.try_get(filt)
                 if ok:
-                    self._getters.remove((gev, filt))
+                    del self._getters[gi]
                     gev.succeed(item)
-                    progress = True
+                    served = True
                     break
+            if not served:
+                return

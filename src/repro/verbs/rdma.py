@@ -28,6 +28,10 @@ from repro.verbs.mr import KeyTable, ProtectionError
 
 __all__ = ["VerbsState", "verbs_state", "rdma_write", "rdma_read", "post_control"]
 
+# Hot-path metric labels (initiator.kind is "host" or "dpu").
+_WRITE_LABELS = {k: f"rdma.write.{k}" for k in ("host", "dpu")}
+_READ_LABELS = {k: f"rdma.read.{k}" for k in ("host", "dpu")}
+
 
 @dataclass
 class VerbsState:
@@ -90,11 +94,19 @@ def rdma_write(
     dst_addr: int,
     size: int,
     copy: bool = True,
+    payload_src=None,
 ) -> Transfer:
     """RDMA WRITE: move [src_addr, +size) into the rkey's buffer.
 
     Use as ``t = yield from rdma_write(...)``; then ``yield t.completed``
     for the CQE (or keep pipelining).
+
+    ``payload_src`` is an optional ``(space, addr)`` pair naming where
+    the bytes *really* live when the local buffer was filled lazily (a
+    staged pipeline that skipped materializing the bounce buffer, see
+    ``rdma_read(lazy_payload=True)``): delivery copies straight from
+    there to the destination, eliding the intermediate copy.  Timing is
+    unaffected -- only the byte movement is short-circuited.
     """
     cluster = initiator.cluster
     state = verbs_state(cluster)
@@ -106,10 +118,16 @@ def rdma_write(
     yield initiator.consume(initiator.hca.post_overhead(initiator.kind))
 
     def deliver(_dv):
-        if copy and size > 0:
-            dst_owner.space.write(dst_addr, src_owner.space.read(src_addr, size))
+        if copy and size > 0 and cluster.payloads:
+            if payload_src is not None:
+                real_space, real_addr = payload_src
+                dst_owner.space.write(dst_addr, real_space.read(real_addr, size))
+            else:
+                dst_owner.space.write(dst_addr, src_owner.space.read(src_addr, size))
 
-    cluster.metrics.add(f"rdma.write.{initiator.kind}")
+    cluster.metrics.add(
+        _WRITE_LABELS.get(initiator.kind) or f"rdma.write.{initiator.kind}"
+    )
     # Cross-GVMI data paths pay the mkey2 translation indirection.
     bw_scale = cluster.params.gvmi_bw_factor if src_info.kind == "mkey2" else 1.0
     return cluster.fabric.transfer(
@@ -134,12 +152,22 @@ def rdma_read(
     remote_addr: int,
     size: int,
     copy: bool = True,
+    lazy_payload: bool = False,
 ) -> Transfer:
     """RDMA READ: pull the rkey's bytes into the local buffer.
 
     Data flows remote -> local; the remote CPU is not involved (that is
     the point of one-sided reads -- and why a staging proxy can drain a
     host buffer without interrupting the host).
+
+    With ``lazy_payload=True`` the bytes are *not* written into the
+    local buffer at delivery; instead the returned handle's
+    ``payload_src`` records ``(remote_space, remote_addr)`` so a
+    follow-on ``rdma_write(payload_src=...)`` can forward the data
+    directly to its final destination.  Only valid when the remote
+    buffer is guaranteed stable until the forward completes (MPI
+    rendezvous: the sender may not touch the buffer until FIN) and when
+    nothing reads the local buffer in between.
     """
     cluster = initiator.cluster
     state = verbs_state(cluster)
@@ -150,12 +178,17 @@ def rdma_read(
 
     yield initiator.consume(initiator.hca.post_overhead(initiator.kind))
 
-    def deliver(_dv):
-        if copy and size > 0:
-            local_owner.space.write(local_addr, remote_owner.space.read(remote_addr, size))
+    if lazy_payload:
+        deliver = None
+    else:
+        def deliver(_dv):
+            if copy and size > 0 and cluster.payloads:
+                local_owner.space.write(local_addr, remote_owner.space.read(remote_addr, size))
 
-    cluster.metrics.add(f"rdma.read.{initiator.kind}")
-    return cluster.fabric.transfer(
+    cluster.metrics.add(
+        _READ_LABELS.get(initiator.kind) or f"rdma.read.{initiator.kind}"
+    )
+    t = cluster.fabric.transfer(
         src_node=remote_owner.node_id,
         dst_node=local_owner.node_id,
         size=size,
@@ -165,6 +198,9 @@ def rdma_read(
         on_deliver=deliver,
         kind="rdma_read",
     )
+    if lazy_payload:
+        t.payload_src = (remote_owner.space, remote_addr)
+    return t
 
 
 def post_control(

@@ -98,12 +98,29 @@ class TestAddressSpace:
         sp.free(a)
         assert sp.allocated_bytes == 50
 
-    def test_read_is_a_copy(self):
+    def test_read_is_a_live_readonly_view(self):
         sp = AddressSpace()
         addr = sp.alloc(16, fill=1)
-        snap = sp.read(addr, 16)
+        view = sp.read(addr, 16)
+        with pytest.raises(ValueError):
+            view[0] = 9  # read-only
+        sp.write(addr, np.full(16, 2, np.uint8))
+        assert (view == 2).all()  # aliases the live buffer
+
+    def test_read_copy_is_a_snapshot(self):
+        sp = AddressSpace()
+        addr = sp.alloc(16, fill=1)
+        snap = sp.read_copy(addr, 16)
         sp.write(addr, np.full(16, 2, np.uint8))
         assert (snap == 1).all()
+        snap[0] = 7  # and it is mutable
+
+    def test_write_overlapping_view_is_memmove(self):
+        sp = AddressSpace()
+        addr = sp.alloc(8)
+        sp.write(addr, np.arange(8, dtype=np.uint8))
+        sp.write(addr + 2, sp.read(addr, 6))  # overlapping local copy
+        assert (sp.read(addr + 2, 6) == np.arange(6, dtype=np.uint8)).all()
 
     def test_size_of(self):
         sp = AddressSpace()
