@@ -23,14 +23,19 @@ def _write_if_changed(path: Path, text: str) -> bool:
 
     Keeps an unchanged benchmark run from dirtying the checked-in
     ``results/`` snapshots (mtime churn shows up as spurious diffs in
-    build tooling).  Returns True when the file was (re)written.
+    build tooling).  The write goes through a per-process temp file and
+    an atomic rename so concurrent pytest-xdist workers can never
+    interleave partial contents.  Returns True when the file was
+    (re)written.
     """
     try:
         if path.read_text() == text:
             return False
     except OSError:
         pass
-    path.write_text(text)
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
     return True
 
 

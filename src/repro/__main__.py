@@ -1,7 +1,10 @@
 """Command-line entry point: ``python -m repro <command>``.
 
 Commands:
-    figures [figNN ...]   regenerate paper figures (see experiments.runall)
+    run [--all | figNN ...] [--jobs N]
+                          regenerate paper figures, optionally sharded
+                          across N worker processes (see experiments.runall)
+    figures [figNN ...]   alias of ``run``
     ablations             run the ablation studies
     info                  print package / inventory summary
 """
@@ -22,7 +25,8 @@ def _info() -> int:
         print(f"  {name}")
     print()
     print("entry points:")
-    print("  python -m repro figures [figNN ...] [--scale quick|paper]")
+    print("  python -m repro run --all --jobs 4   # parallel figure regen")
+    print("  python -m repro run [figNN ...] [--scale quick|paper] [--jobs N]")
     print("  python -m repro ablations")
     print("  pytest tests/                 # unit/integration/property tests")
     print("  pytest benchmarks/ --benchmark-only")
@@ -51,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if not args or args[0] in ("info", "--help", "-h"):
         return _info()
-    if args[0] == "figures":
+    if args[0] in ("run", "figures"):
         from repro.experiments.runall import main as runall_main
 
         return runall_main(args[1:])

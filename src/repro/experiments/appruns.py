@@ -3,6 +3,12 @@
 Figures 11/12 (and 13/14) are two views of the same runs; this module
 runs each sweep once per scale and caches the results.
 
+Every sweep is an ordered list of independent points -- each point
+builds its own cluster and simulator -- executed through
+:func:`repro.experiments.parallel.sweep_map`, so ``runall --jobs N``
+(or ``REPRO_JOBS``) shards the points across worker processes while the
+merged dict stays bit-identical to a serial run.
+
 Scales:
 
 * ``quick``  -- shrunk clusters (the default everywhere; seconds).
@@ -18,6 +24,7 @@ from repro.apps.omb import ialltoall_overlap
 from repro.apps.p3dfft import p3dfft_phase
 from repro.apps.hpl import hpl_run, n_for_memory_fraction
 from repro.apps.stencil3d import stencil_overlap
+from repro.experiments.parallel import sweep_map
 from repro.hw.params import ClusterSpec
 
 __all__ = [
@@ -27,6 +34,7 @@ __all__ = [
     "stencil_sweep",
     "ialltoall_spec",
     "ialltoall_blocks",
+    "ialltoall_nodes",
     "ialltoall_sweep",
     "p3dfft_configs",
     "p3dfft_sweep",
@@ -51,9 +59,8 @@ def stencil_sizes(scale: str) -> list[int]:
     return [512, 1024, 2048] if scale == "paper" else [192, 256, 512]
 
 
-@lru_cache(maxsize=None)
-def stencil_sweep(scale: str) -> dict:
-    """{(flavor, n): OverlapResult} for the Proposed-vs-IntelMPI figure.
+def _stencil_point(scale: str, flavor: str, n: int):
+    """One (flavor, grid-size) cell of the stencil sweep.
 
     OMB-style methodology: one uninterrupted dummy-compute block
     (``test_chunk=None``) between posting the exchange and the waitall.
@@ -61,15 +68,22 @@ def stencil_sweep(scale: str) -> dict:
     paper's testbed does (its >20% overall gains imply communication is
     a 25-35% slice of the iteration).
     """
-    spec = stencil_spec(scale)
-    out = {}
-    for flavor in ("intelmpi", "proposed"):
-        for n in stencil_sizes(scale):
-            out[(flavor, n)] = stencil_overlap(
-                flavor, spec, n, iters=3, warmup=1,
-                test_chunk=None, compute_scale=0.6,
-            )
-    return out
+    return stencil_overlap(
+        flavor, stencil_spec(scale), n, iters=3, warmup=1,
+        test_chunk=None, compute_scale=0.6,
+    )
+
+
+@lru_cache(maxsize=None)
+def stencil_sweep(scale: str) -> dict:
+    """{(flavor, n): OverlapResult} for the Proposed-vs-IntelMPI figure."""
+    points = [
+        (scale, flavor, n)
+        for flavor in ("intelmpi", "proposed")
+        for n in stencil_sizes(scale)
+    ]
+    results = sweep_map(_stencil_point, points, label="stencil")
+    return {(f, n): r for (_, f, n), r in zip(points, results)}
 
 
 # ---------------------------------------------------------------------------
@@ -90,20 +104,27 @@ def ialltoall_blocks(scale: str) -> list[int]:
     return [16384, 65536, 262144] if scale == "paper" else [16384, 65536, 262144]
 
 
+def _ialltoall_point(scale: str, nodes: int, flavor: str, block: int):
+    """One (nodes, flavor, block) cell.  OMB NBC methodology: one
+    dummy-compute block between the collective and its wait, no
+    intermediate tests."""
+    return ialltoall_overlap(
+        flavor, ialltoall_spec(scale, nodes), block,
+        iters=3, warmup=2, test_chunk=None,
+    )
+
+
 @lru_cache(maxsize=None)
 def ialltoall_sweep(scale: str) -> dict:
     """{(flavor, nodes, block): OverlapResult}."""
-    out = {}
-    for nodes in ialltoall_nodes(scale):
-        spec = ialltoall_spec(scale, nodes)
-        for flavor in FLAVORS:
-            for block in ialltoall_blocks(scale):
-                # OMB NBC methodology: one dummy-compute block between
-                # the collective and its wait, no intermediate tests.
-                out[(flavor, nodes, block)] = ialltoall_overlap(
-                    flavor, spec, block, iters=3, warmup=2, test_chunk=None
-                )
-    return out
+    points = [
+        (scale, nodes, flavor, block)
+        for nodes in ialltoall_nodes(scale)
+        for flavor in FLAVORS
+        for block in ialltoall_blocks(scale)
+    ]
+    results = sweep_map(_ialltoall_point, points, label="ialltoall")
+    return {(f, n, b): r for (_, n, f, b), r in zip(points, results)}
 
 
 # ---------------------------------------------------------------------------
@@ -126,20 +147,29 @@ def p3dfft_configs(scale: str) -> list[dict]:
     ]
 
 
+def _p3dfft_point(scale: str, cfg_index: int, flavor: str, z: int):
+    """One (config, flavor, Z) cell.  No warm-up (the application-level
+    condition that exposes BluesMPI); several iterations, as the real
+    test_sine.x performs forward+backward transforms repeatedly."""
+    cfg = p3dfft_configs(scale)[cfg_index]
+    return p3dfft_phase(flavor, cfg["spec"], cfg["x"], cfg["y"], z, iters=6)
+
+
 @lru_cache(maxsize=None)
 def p3dfft_sweep(scale: str) -> dict:
     """{(flavor, config_label, z): P3dfftProfile}."""
-    out = {}
-    for cfg in p3dfft_configs(scale):
-        for flavor in FLAVORS:
-            for z in cfg["zs"]:
-                # No warm-up (the application-level condition that exposes
-                # BluesMPI); several iterations, as the real test_sine.x
-                # performs forward+backward transforms repeatedly.
-                out[(flavor, cfg["label"], z)] = p3dfft_phase(
-                    flavor, cfg["spec"], cfg["x"], cfg["y"], z, iters=6
-                )
-    return out
+    cfgs = p3dfft_configs(scale)
+    points = [
+        (scale, i, flavor, z)
+        for i, cfg in enumerate(cfgs)
+        for flavor in FLAVORS
+        for z in cfg["zs"]
+    ]
+    results = sweep_map(_p3dfft_point, points, label="p3dfft")
+    return {
+        (f, cfgs[i]["label"], z): r
+        for (_, i, f, z), r in zip(points, results)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -166,9 +196,8 @@ def hpl_variants() -> list[tuple[str, str, str]]:
     ]
 
 
-@lru_cache(maxsize=None)
-def hpl_sweep(scale: str) -> dict:
-    """{(label, fraction): HplResult}.
+def _hpl_point(scale: str, fraction: float, label: str):
+    """One (memory-fraction, variant) cell of the HPL sweep.
 
     The quick scale shrinks node memory so matrix orders stay simulable
     (N = 4k..16k instead of 160k..620k) and truncates the factorization
@@ -179,15 +208,24 @@ def hpl_sweep(scale: str) -> dict:
     """
     spec = hpl_spec(scale)
     node_mem = 256e9 * (1.0 if scale == "paper" else 2.0e-3)
-    nb = 128
     grid = (16, 32) if scale == "paper" else (4, 16)
-    out = {}
-    for fraction in hpl_fractions():
-        n = n_for_memory_fraction(fraction, node_mem, spec.nodes)
-        for label, flavor, bc in hpl_variants():
-            out[(label, fraction)] = hpl_run(
-                flavor, spec, n=n, nb=nb, bcast=bc,
-                tests_per_update=3, grid=grid,
-                max_steps=40 if scale != "paper" else None,
-            )
-    return out
+    flavor, bc = next(
+        (f, b) for lab, f, b in hpl_variants() if lab == label)
+    n = n_for_memory_fraction(fraction, node_mem, spec.nodes)
+    return hpl_run(
+        flavor, spec, n=n, nb=128, bcast=bc,
+        tests_per_update=3, grid=grid,
+        max_steps=40 if scale != "paper" else None,
+    )
+
+
+@lru_cache(maxsize=None)
+def hpl_sweep(scale: str) -> dict:
+    """{(label, fraction): HplResult}."""
+    points = [
+        (scale, fraction, label)
+        for fraction in hpl_fractions()
+        for label, _flavor, _bc in hpl_variants()
+    ]
+    results = sweep_map(_hpl_point, points, label="hpl")
+    return {(lab, f): r for (_, f, lab), r in zip(points, results)}

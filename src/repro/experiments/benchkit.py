@@ -37,12 +37,15 @@ __all__ = [
     "MICROBENCHES",
     "run_microbenches",
     "collect_snapshot",
+    "collect_parallel_snapshot",
     "compare_snapshots",
     "main",
     "SCHEMA",
+    "PARALLEL_SCHEMA",
 ]
 
 SCHEMA = "repro.bench/1"
+PARALLEL_SCHEMA = "repro.bench.parallel/1"
 #: Best-of-N wall-clock repeats per microbenchmark (absorbs scheduler noise).
 REPEATS = 5
 #: CI gate: fail when a metric is worse than baseline by more than this.
@@ -222,6 +225,109 @@ def collect_snapshot(
             for name, seconds in sorted(figure_walls.items())
         }
     return snap
+
+
+def _measure_scaling_run(names, scale, jobs, conn):
+    """Child-process body for :func:`collect_parallel_snapshot`.
+
+    Runs the selected figures at one job count and ships the timings
+    back over ``conn``.  Top-level so the spawn start method can pickle
+    it; must stay importable without side effects.
+    """
+    from repro.experiments.parallel import using_jobs
+    from repro.experiments.runall import run_selected
+
+    group_walls: dict[str, float] = {}
+
+    def progress(ev):
+        if ev["event"] == "done":
+            group_walls[",".join(ev["point"][0])] = round(ev.get("wall_s", 0.0), 2)
+
+    t0 = time.perf_counter()
+    with using_jobs(1):
+        records = run_selected(names, scale=scale, jobs=jobs,
+                               progress=progress)
+    total = time.perf_counter() - t0
+    conn.send({
+        "total": total,
+        "figures": {r["name"]: r["fig"].config.get("wall_seconds", 0.0)
+                    for r in records if r["fig"] is not None},
+        "crashed": [r["name"] for r in records if r["fig"] is None],
+        "group_walls": group_walls,
+    })
+    conn.close()
+
+
+def collect_parallel_snapshot(
+    names: list[str] | None = None,
+    scale: str = "quick",
+    jobs: tuple[int, ...] = (1, 2, 4),
+    verbose: bool = False,
+) -> dict:
+    """One BENCH_parallel.json document: figure walls at several job counts.
+
+    Reruns the selected figures through the sweep engine at each job
+    count and records the total and per-figure wall-clock seconds the
+    workers reported over the progress IPC channel.  Each measurement
+    runs in a **fresh spawned child process** so every job count starts
+    from the same cold state -- measuring jobs=1 in the calling process
+    would let it reuse memoized application sweeps from any earlier
+    figure run and make the serial baseline look arbitrarily fast.
+    ``speedup`` is each job count's total relative to jobs=1.  Pure
+    measurement, no gate: sharding only pays when there are cores to
+    shard over, so the snapshot also records ``cpu_count``.
+    """
+    import multiprocessing as mp
+    import os
+
+    from repro.experiments.parallel import _START_METHOD
+
+    ctx = mp.get_context(_START_METHOD)
+    doc: dict = {
+        "schema": PARALLEL_SCHEMA,
+        "commit": _commit_stamp(),
+        "python": platform.python_version(),
+        "scale": scale,
+        "cpu_count": os.cpu_count() or 1,
+        "jobs": {},
+    }
+    for j in jobs:
+        recv, send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_measure_scaling_run,
+                           args=(names, scale, j, send))
+        proc.start()
+        send.close()
+        try:
+            run = recv.recv()
+        except EOFError:
+            proc.join()
+            raise RuntimeError(
+                f"scaling measurement at jobs={j} died "
+                f"(exitcode {proc.exitcode})") from None
+        proc.join()
+        doc["jobs"][str(j)] = {
+            "total": {"value": round(run["total"], 2), "unit": "s",
+                      "direction": "lower"},
+            "figures": {
+                name: {"value": wall, "unit": "s", "direction": "lower"}
+                for name, wall in sorted(run["figures"].items())
+            },
+            # Per-group worker walls as reported over the IPC channel
+            # (only present when figure groups were actually sharded).
+            **({"group_walls": run["group_walls"]}
+               if run["group_walls"] else {}),
+            **({"crashed": run["crashed"]} if run["crashed"] else {}),
+        }
+        if verbose:
+            print(f"  jobs={j}: {run['total']:.1f}s total", flush=True)
+    base = doc["jobs"].get("1", {}).get("total", {}).get("value")
+    if base:
+        doc["speedup"] = {
+            str(j): round(base / doc["jobs"][str(j)]["total"]["value"], 2)
+            for j in jobs
+            if doc["jobs"][str(j)]["total"]["value"] > 0
+        }
+    return doc
 
 
 def _iter_metrics(snap: dict):

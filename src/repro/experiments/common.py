@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -12,6 +13,7 @@ __all__ = [
     "SimBarrier",
     "fmt_size",
     "improvement_pct",
+    "canonical_json",
 ]
 
 
@@ -84,6 +86,22 @@ class ShapeCheck:
     detail: str = ""
 
 
+def canonical_json(fig_dict: dict, ignore_config: tuple = ("wall_seconds",)) -> str:
+    """Stable byte-form of a figure payload for determinism comparisons.
+
+    Sorted keys, no whitespace variance; ``ignore_config`` drops the
+    config entries that legitimately vary between otherwise identical
+    runs (wall clock).  The parallel determinism harness asserts these
+    strings are byte-identical across job counts.
+    """
+    d = dict(fig_dict)
+    if "config" in d:
+        d["config"] = {
+            k: v for k, v in d["config"].items() if k not in ignore_config
+        }
+    return json.dumps(d, sort_keys=True, separators=(",", ":"))
+
+
 @dataclass
 class FigureResult:
     """Everything a figure reproduction produced."""
@@ -130,6 +148,10 @@ class FigureResult:
             "notes": self.notes,
             "metrics": self.metrics,
         }
+
+    def canonical_json(self, ignore_config: tuple = ("wall_seconds",)) -> str:
+        """See :func:`canonical_json`."""
+        return canonical_json(self.to_dict(), ignore_config=ignore_config)
 
     def render(self) -> str:
         """Aligned text table: x down the rows, one column per series."""

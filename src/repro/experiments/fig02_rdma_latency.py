@@ -11,6 +11,7 @@ whose initiator runs on the ARM cores).
 from __future__ import annotations
 
 from repro.experiments.common import FigureResult, Series, fmt_size
+from repro.experiments.parallel import sweep_map
 from repro.hw import Cluster, ClusterSpec
 from repro.verbs import reg_mr, rdma_write
 
@@ -48,8 +49,10 @@ def _measure(initiator_kind: str, size: int, iters: int = 10) -> float:
 
 def run(scale: str = "quick") -> FigureResult:
     sizes = SIZES
-    host = [_measure("host", s) * 1e6 for s in sizes]
-    dpu = [_measure("dpu", s) * 1e6 for s in sizes]
+    points = [(kind, s) for kind in ("host", "dpu") for s in sizes]
+    values = sweep_map(_measure, points, label="fig02")
+    host = [v * 1e6 for v in values[: len(sizes)]]
+    dpu = [v * 1e6 for v in values[len(sizes):]]
     fig = FigureResult(
         fig_id="fig02",
         title="RDMA-write latency: host-to-host vs host-to-DPU",

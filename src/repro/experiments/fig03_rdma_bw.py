@@ -12,6 +12,7 @@ small-message gap and the large-message ceiling.
 from __future__ import annotations
 
 from repro.experiments.common import FigureResult, Series, fmt_size
+from repro.experiments.parallel import sweep_map
 from repro.hw import Cluster, ClusterSpec
 from repro.verbs import reg_mr, rdma_write
 
@@ -52,8 +53,10 @@ def _measure_bw(initiator_kind: str, size: int, window: int = WINDOW) -> float:
 
 def run(scale: str = "quick") -> FigureResult:
     sizes = SIZES
-    host = [_measure_bw("host", s) for s in sizes]
-    dpu = [_measure_bw("dpu", s) for s in sizes]
+    points = [(kind, s) for kind in ("host", "dpu") for s in sizes]
+    values = sweep_map(_measure_bw, points, label="fig03")
+    host = values[: len(sizes)]
+    dpu = values[len(sizes):]
     normalised = [d / h for d, h in zip(dpu, host)]
     fig = FigureResult(
         fig_id="fig03",

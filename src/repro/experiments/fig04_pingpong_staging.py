@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.apps.harness import mean
 from repro.experiments.common import FigureResult, Series, fmt_size
+from repro.experiments.parallel import sweep_map
 from repro.hw import Cluster, ClusterSpec
 from repro.offload import OffloadFramework
 from repro.apps.omb import pingpong_latency
@@ -50,12 +51,22 @@ def _offload_pingpong(mode: str, size: int, iters: int = 10, warmup: int = 3) ->
     return mean(samples)
 
 
+def _point(variant: str, size: int) -> float:
+    """One sweep point: pingpong latency for a variant at one size."""
+    if variant == "host":
+        spec = ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1)
+        return pingpong_latency("intelmpi", spec, size, iters=10)
+    return _offload_pingpong(variant, size)
+
+
 def run(scale: str = "quick") -> FigureResult:
-    spec = ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1)
     sizes = SIZES
-    host = [pingpong_latency("intelmpi", spec, s, iters=10) * 1e6 for s in sizes]
-    staged = [_offload_pingpong("staged", s) * 1e6 for s in sizes]
-    gvmi = [_offload_pingpong("gvmi", s) * 1e6 for s in sizes]
+    points = [(v, s) for v in ("host", "staged", "gvmi") for s in sizes]
+    values = sweep_map(_point, points, label="fig04")
+    n = len(sizes)
+    host = [v * 1e6 for v in values[:n]]
+    staged = [v * 1e6 for v in values[n:2 * n]]
+    gvmi = [v * 1e6 for v in values[2 * n:]]
     fig = FigureResult(
         fig_id="fig04",
         title="Non-blocking pingpong latency: host vs staging-based offload",

@@ -11,6 +11,7 @@ overheads are what the array-of-BST caches of Section VII-B amortise.
 from __future__ import annotations
 
 from repro.experiments.common import FigureResult, Series, fmt_size
+from repro.experiments.parallel import sweep_map
 from repro.hw import Cluster, ClusterSpec
 from repro.verbs import cross_register, gvmi_id_of, host_gvmi_register
 
@@ -45,8 +46,7 @@ def _measure(size: int) -> tuple[float, float]:
 def run(scale: str = "quick") -> FigureResult:
     sizes = SIZES
     host_costs, dpu_costs = [], []
-    for s in sizes:
-        h, d = _measure(s)
+    for h, d in sweep_map(_measure, sizes, label="fig05"):
         host_costs.append(h * 1e6)
         dpu_costs.append(d * 1e6)
     fig = FigureResult(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.apps.harness import mean
 from repro.experiments.common import FigureResult, Series, SimBarrier, fmt_size
+from repro.experiments.parallel import sweep_map
 from repro.hw import Cluster, ClusterSpec
 from repro.offload import OffloadFramework
 
@@ -100,20 +101,28 @@ def _scatter_dest(scale: str, block: int, variant: str, iters: int = 3, warmup: 
     return mean(samples), ctrl / (warmup + iters), cl
 
 
+def _scatter_point(scale: str, block: int, variant: str) -> tuple:
+    """Picklable sweep point: (per-iter time, ctrl msgs, metrics snap)."""
+    t, c, cl = _scatter_dest(scale, block, variant)
+    return t, c, cl.metrics.snapshot_full()
+
+
 def run(scale: str = "quick") -> FigureResult:
     blocks = PAPER_BLOCKS if scale == "paper" else QUICK_BLOCKS
     simple_t, group_t = [], []
     simple_ctrl, group_ctrl = [], []
     snaps: dict = {}
-    for b in blocks:
-        t, c, cl = _scatter_dest(scale, b, "simple")
-        simple_t.append(t * 1e6)
-        simple_ctrl.append(c)
-        snaps["simple"] = cl.metrics.snapshot_full()
-        t, c, cl = _scatter_dest(scale, b, "group")
-        group_t.append(t * 1e6)
-        group_ctrl.append(c)
-        snaps["group"] = cl.metrics.snapshot_full()
+    points = [(scale, b, variant) for b in blocks
+              for variant in ("simple", "group")]
+    results = sweep_map(_scatter_point, points, label="fig15")
+    for (_, _b, variant), (t, c, snap) in zip(points, results):
+        if variant == "simple":
+            simple_t.append(t * 1e6)
+            simple_ctrl.append(c)
+        else:
+            group_t.append(t * 1e6)
+            group_ctrl.append(c)
+        snaps[variant] = snap
     xs = [fmt_size(b) for b in blocks]
     fig = FigureResult(
         fig_id="fig15",

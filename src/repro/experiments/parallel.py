@@ -1,0 +1,469 @@
+"""Work-stealing process-pool scheduler for embarrassingly parallel sweeps.
+
+Every paper figure is (or contains) a sweep: an ordered list of
+independent points -- ``(message_size, variant)``, ``(flavor, nodes,
+block)`` -- each of which builds its own :class:`~repro.hw.Cluster`,
+runs one isolated simulation, and returns a picklable record.
+:func:`sweep_map` runs those points either serially (the reference
+semantics) or across worker processes, and **merges the results in
+point order**, so the output is bit-identical to the serial run
+regardless of job count or completion order.
+
+Design rules that make "parallel changes nothing" hold:
+
+* **Ordered merge.**  Workers pull points off a shared queue
+  (self-scheduling / work stealing -- a free worker immediately grabs
+  the next undone point), results stream back tagged with their point
+  index, and :func:`merge_messages` re-assembles them in index order.
+* **Seeds from the spec, never the clock.**  Each point gets a seed
+  derived by :func:`repro.sim.rng.spawn_seed` from the sweep's root
+  seed and the point's stable key ``(label, index)``.  The derivation
+  is pure, so job count and completion order cannot perturb it.
+* **Fresh interpreters.**  Workers are started with the ``spawn``
+  method: no inherited module-global counters, lru_caches or RNG state
+  from the parent can leak into a point's behaviour.
+* **Crash isolation.**  A point that raises (or a worker process that
+  dies outright) surfaces as a structured :class:`PointFailure` in the
+  merged result instead of killing the sweep -- the same keep-going
+  semantics ``runall`` applies to whole figures.
+* **Watermark merge.**  Each worker measures ``hw.memory.peak_stats()``
+  around its point and the parent max-merges them, so per-figure
+  ``peak_resident_bytes`` snapshots match the serial run exactly.
+
+Progress/timing flows back over the same IPC channel as results
+(``start``/``done`` events through an optional ``progress`` callback);
+``benchkit`` consumes it to stamp per-figure walls and the
+``results/BENCH_parallel.json`` scaling snapshot.
+
+Job-count resolution: an explicit ``jobs=`` argument wins; otherwise
+the ambient default set by ``runall --jobs`` / :func:`using_jobs` /
+the ``REPRO_JOBS`` environment variable applies; inside a worker
+process nested sweeps always run serially (no pool-in-pool).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import time
+import traceback
+from queue import Empty
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.sim.rng import spawn_seed
+
+__all__ = [
+    "PointFailure",
+    "SweepError",
+    "sweep_map",
+    "merge_messages",
+    "point_seeds",
+    "set_default_jobs",
+    "get_default_jobs",
+    "using_jobs",
+    "in_worker",
+]
+
+#: Ambient job count used when ``sweep_map`` is called without ``jobs=``.
+_DEFAULT_JOBS: int | None = None
+
+#: Set in worker processes: nested sweeps must not spawn pools.
+_IN_WORKER = False
+
+#: multiprocessing start method; ``spawn`` gives every worker a fresh
+#: interpreter (override with REPRO_MP_START=fork for faster startup
+#: on platforms where fork is safe).
+_START_METHOD = os.environ.get("REPRO_MP_START", "spawn")
+
+
+# ---------------------------------------------------------------------------
+# job-count plumbing
+# ---------------------------------------------------------------------------
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the ambient job count (``runall --jobs`` calls this)."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = None if jobs is None else max(1, int(jobs))
+
+
+def get_default_jobs() -> int:
+    """Ambient job count: explicit default, else $REPRO_JOBS, else 1."""
+    if _IN_WORKER:
+        return 1
+    if _DEFAULT_JOBS is not None:
+        return _DEFAULT_JOBS
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+@contextmanager
+def using_jobs(jobs: int | None):
+    """Temporarily set the ambient job count (tests use this)."""
+    global _DEFAULT_JOBS
+    prev = _DEFAULT_JOBS
+    set_default_jobs(jobs)
+    try:
+        yield
+    finally:
+        _DEFAULT_JOBS = prev
+
+
+def in_worker() -> bool:
+    """True inside a sweep worker process."""
+    return _IN_WORKER
+
+
+def _resolve_jobs(jobs: int | None, n_points: int) -> int:
+    if _IN_WORKER:
+        return 1
+    j = get_default_jobs() if jobs is None else max(1, int(jobs))
+    return min(j, max(1, n_points))
+
+
+# ---------------------------------------------------------------------------
+# failures
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PointFailure:
+    """Structured record of one sweep point that crashed.
+
+    Occupies the failed point's slot in the merged result list; the
+    neighbouring points are unaffected (keep-going semantics).
+    """
+
+    index: int
+    point: Any
+    error_type: str
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PointFailure(#{self.index} {self.point!r}: " \
+               f"{self.error_type}: {self.message})"
+
+
+class SweepError(RuntimeError):
+    """Raised by ``sweep_map(on_error='raise')`` when points failed."""
+
+    def __init__(self, failures: list[PointFailure]):
+        self.failures = failures
+        first = failures[0]
+        detail = f" (+{len(failures) - 1} more)" if len(failures) > 1 else ""
+        super().__init__(
+            f"{len(failures)} sweep point(s) failed; first: point "
+            f"#{first.index} {first.point!r}: {first.error_type}: "
+            f"{first.message}{detail}\n{first.traceback}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# deterministic merge (pure -- property-tested directly)
+# ---------------------------------------------------------------------------
+
+def merge_messages(n_points: int, messages: Iterable[tuple]) -> list:
+    """Merge completion messages into a point-ordered result list.
+
+    ``messages`` is any iterable of ``("ok", index, value)`` /
+    ``("err", index, PointFailure)`` tuples in *arbitrary* completion
+    order; the output is ordered by point index.  Every index in
+    ``range(n_points)`` must appear exactly once.
+    """
+    slots: list = [_MISSING] * n_points
+    for kind, index, payload in messages:
+        if not 0 <= index < n_points:
+            raise ValueError(f"point index {index} out of range 0..{n_points - 1}")
+        if slots[index] is not _MISSING:
+            raise ValueError(f"point index {index} completed twice")
+        if kind not in ("ok", "err"):
+            raise ValueError(f"unknown message kind {kind!r}")
+        slots[index] = payload
+    missing = [i for i, s in enumerate(slots) if s is _MISSING]
+    if missing:
+        raise ValueError(f"points never completed: {missing}")
+    return slots
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def point_seeds(root_seed: int, label: str, n_points: int) -> list[int]:
+    """Per-point seeds for a sweep: pure in (root, label, index).
+
+    Identical for every job count and completion order by construction
+    (property-tested in ``tests/test_properties_parallel.py``).
+    """
+    return [spawn_seed(root_seed, label, i) for i in range(n_points)]
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _call_point(fn: Callable, point, seed_kwarg: str | None, seed: int):
+    args = point if isinstance(point, tuple) else (point,)
+    if seed_kwarg:
+        return fn(*args, **{seed_kwarg: seed})
+    return fn(*args)
+
+
+def _worker_main(wid: int, fn, seed_kwarg, task_q, result_q) -> None:
+    """Pull points off the shared queue until the ``None`` sentinel."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    from repro.hw import memory as hw_memory
+
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        index, point, seed = item
+        result_q.put(("start", wid, index, None))
+        hw_memory.reset_peak_stats()
+        t0 = time.perf_counter()
+        try:
+            value = _call_point(fn, point, seed_kwarg, seed)
+            # Pickle here, synchronously: an unpicklable result must
+            # surface as this point's failure, not as a feeder-thread
+            # crash that wedges the whole sweep.
+            blob = pickle.dumps((value, hw_memory.peak_stats()))
+            result_q.put(("ok", wid, index,
+                          (blob, time.perf_counter() - t0)))
+        except BaseException as exc:  # noqa: BLE001 - crash isolation
+            failure = PointFailure(
+                index=index, point=point,
+                error_type=type(exc).__name__, message=str(exc),
+                traceback=traceback.format_exc(),
+            )
+            result_q.put(("err", wid, index,
+                          (pickle.dumps(failure), time.perf_counter() - t0)))
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                break
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _PoolState:
+    procs: list = field(default_factory=list)
+    inflight: dict = field(default_factory=dict)  # wid -> point index
+
+
+def sweep_map(
+    fn: Callable,
+    points: Sequence,
+    jobs: int | None = None,
+    on_error: str = "raise",
+    label: str | None = None,
+    seed_root: int = 0,
+    seed_kwarg: str | None = None,
+    progress: Callable[[dict], None] | None = None,
+) -> list:
+    """Run ``fn`` over ``points``; return results in point order.
+
+    Each point is a tuple of positional arguments for ``fn`` (a bare
+    value is treated as a 1-tuple).  With ``jobs > 1`` the points run
+    on a spawn-based worker pool; results (and per-point peak-memory
+    watermarks) are merged so the returned list -- and all observable
+    parent-process state -- is identical to the serial run.
+
+    ``on_error='raise'`` raises :class:`SweepError` once the whole
+    sweep has drained (serial mode raises in place, preserving the
+    original exception); ``on_error='keep'`` leaves a
+    :class:`PointFailure` in the failed slot.
+
+    ``seed_kwarg`` names a keyword argument of ``fn`` that receives the
+    point's derived seed (``spawn_seed(seed_root, label, index)``);
+    without it the seeds are still derived and reported through
+    ``progress`` so stochastic figures can adopt them incrementally.
+
+    ``progress`` (parent-side) receives dict events:
+    ``{"event": "start"|"done", "label", "index", "point", "ok",
+    "wall_s", "seed"}``.
+    """
+    if on_error not in ("raise", "keep"):
+        raise ValueError(f"on_error must be 'raise' or 'keep', not {on_error!r}")
+    points = list(points)
+    label = label or getattr(fn, "__name__", "sweep")
+    seeds = point_seeds(seed_root, label, len(points))
+    n_jobs = _resolve_jobs(jobs, len(points))
+    if n_jobs <= 1:
+        return _sweep_serial(fn, points, on_error, label, seeds,
+                             seed_kwarg, progress)
+    return _sweep_pool(fn, points, n_jobs, on_error, label, seeds,
+                       seed_kwarg, progress)
+
+
+def _sweep_serial(fn, points, on_error, label, seeds, seed_kwarg, progress):
+    results = []
+    failures = []
+    for index, point in enumerate(points):
+        if progress is not None:
+            progress({"event": "start", "label": label, "index": index,
+                      "point": point, "seed": seeds[index]})
+        t0 = time.perf_counter()
+        try:
+            value = _call_point(fn, point, seed_kwarg, seeds[index])
+            ok = True
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            value = PointFailure(
+                index=index, point=point,
+                error_type=type(exc).__name__, message=str(exc),
+                traceback=traceback.format_exc(),
+            )
+            failures.append(value)
+            ok = False
+        results.append(value)
+        if progress is not None:
+            progress({"event": "done", "label": label, "index": index,
+                      "point": point, "ok": ok,
+                      "wall_s": time.perf_counter() - t0,
+                      "seed": seeds[index]})
+    return results
+
+
+def _sweep_pool(fn, points, n_jobs, on_error, label, seeds,
+                seed_kwarg, progress):
+    from repro.hw import memory as hw_memory
+
+    ctx = mp.get_context(_START_METHOD)
+    task_q = ctx.Queue()
+    result_q = ctx.Queue()
+    for index, point in enumerate(points):
+        task_q.put((index, point, seeds[index]))
+    for _ in range(n_jobs):
+        task_q.put(None)
+
+    state = _PoolState()
+    for wid in range(n_jobs):
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, fn, seed_kwarg, task_q, result_q),
+            daemon=True,
+        )
+        proc.start()
+        state.procs.append(proc)
+
+    messages: list[tuple] = []
+    completed: set[int] = set()
+    stalled_since: float | None = None
+    try:
+        while len(completed) < len(points):
+            try:
+                kind, wid, index, payload = result_q.get(timeout=1.0)
+            except Empty:
+                _reap_dead_workers(state, messages, completed, points,
+                                   progress, label, seeds)
+                if len(completed) < len(points) \
+                        and not any(p.is_alive() for p in state.procs):
+                    _fail_incomplete(
+                        messages, completed, points, progress, label, seeds,
+                        "all workers exited before running this point")
+                elif any(p.exitcode not in (None, 0) for p in state.procs):
+                    # Some worker died hard; if nothing has moved for a
+                    # while its task (whose "start" never reached us)
+                    # is gone -- fail the stragglers rather than hang.
+                    now = time.monotonic()
+                    stalled_since = stalled_since or now
+                    if now - stalled_since > 30.0:
+                        _fail_incomplete(
+                            messages, completed, points, progress, label,
+                            seeds, "sweep stalled after a worker death")
+                continue
+            stalled_since = None
+            if kind == "start":
+                state.inflight[wid] = index
+                if progress is not None:
+                    progress({"event": "start", "label": label, "index": index,
+                              "point": points[index], "seed": seeds[index]})
+                continue
+            state.inflight.pop(wid, None)
+            if index in completed:
+                continue  # already reaped as a worker death; keep first
+            blob, wall = payload
+            value = pickle.loads(blob)
+            if kind == "ok":
+                result, peak = value
+                hw_memory.record_peak(peak)
+                messages.append(("ok", index, result))
+            else:
+                messages.append(("err", index, value))
+            completed.add(index)
+            if progress is not None:
+                progress({"event": "done", "label": label, "index": index,
+                          "point": points[index], "ok": kind == "ok",
+                          "wall_s": wall, "seed": seeds[index]})
+    finally:
+        for proc in state.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in state.procs:
+            proc.join(timeout=5.0)
+        task_q.cancel_join_thread()
+        result_q.cancel_join_thread()
+
+    merged = merge_messages(len(points), messages)
+    failures = [r for r in merged if isinstance(r, PointFailure)]
+    if failures and on_error == "raise":
+        raise SweepError(failures)
+    return merged
+
+
+def _reap_dead_workers(state, messages, completed, points, progress,
+                       label, seeds) -> None:
+    """Turn hard worker deaths (exit without a result) into failures.
+
+    Only workers with a nonzero exit code are reaped: a clean exit
+    means the worker drained its queue and flushed every result, so
+    anything it produced is still in transit and must not be
+    double-reported.
+    """
+    for wid, proc in enumerate(state.procs):
+        if proc.is_alive() or proc.exitcode in (None, 0):
+            continue
+        if wid not in state.inflight:
+            continue
+        index = state.inflight.pop(wid)
+        if index in completed:
+            continue
+        messages.append(("err", index, PointFailure(
+            index=index, point=points[index],
+            error_type="WorkerDied",
+            message=f"worker {wid} exited with code {proc.exitcode} "
+                    f"while running point #{index}",
+        )))
+        completed.add(index)
+        if progress is not None:
+            progress({"event": "done", "label": label, "index": index,
+                      "point": points[index], "ok": False, "wall_s": 0.0,
+                      "seed": seeds[index]})
+
+
+def _fail_incomplete(messages, completed, points, progress, label, seeds,
+                     why: str) -> None:
+    """Mark every never-completed point as failed (workers are gone)."""
+    for index in range(len(points)):
+        if index in completed:
+            continue
+        messages.append(("err", index, PointFailure(
+            index=index, point=points[index],
+            error_type="WorkerDied", message=why,
+        )))
+        completed.add(index)
+        if progress is not None:
+            progress({"event": "done", "label": label, "index": index,
+                      "point": points[index], "ok": False, "wall_s": 0.0,
+                      "seed": seeds[index]})

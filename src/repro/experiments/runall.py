@@ -2,7 +2,11 @@
 
 Options:
     figNN ...        only these figures (e.g. ``fig13 fig17``)
+    --all            explicitly select every figure (the default)
     --scale SCALE    quick (default) or paper
+    --jobs N         shard figure groups (and, for a single figure, its
+                     sweep points) across N worker processes; output is
+                     bit-identical to --jobs 1 (default: $REPRO_JOBS or 1)
     --out DIR        also write each table to DIR/figNN.txt plus a JSON
                      metrics snapshot (series + counters/histograms) to
                      DIR/figNN.json
@@ -10,12 +14,21 @@ Options:
                      and write a BENCH_engine.json snapshot (schema +
                      commit stamp + per-figure wall-clock seconds) to
                      the --out directory (default results/)
+    --bench-parallel rerun the selected figures at jobs=1/2/4 and write
+                     a BENCH_parallel.json scaling snapshot
     --profile        run each figure under cProfile and print the top
-                     25 functions by cumulative time
+                     25 functions by cumulative time (forces --jobs 1)
 
 A crash in one figure no longer aborts the batch: the error is
 reported, the remaining figures still run, and the exit status is
 non-zero with a per-figure pass/fail summary at the end.
+
+Parallel mode shards *figure groups* -- figures that share a memoised
+application sweep (11/12, 13/14) stay together so the sweep still runs
+once -- across spawn-based workers via
+:func:`repro.experiments.parallel.sweep_map`; results are merged in
+figure order, so tables, JSON snapshots and exit status never depend on
+job count or completion order.
 """
 
 from __future__ import annotations
@@ -24,15 +37,38 @@ import argparse
 import gc
 import importlib
 import json
+import os
 import sys
 import time
 import traceback
 from pathlib import Path
 
 from repro.experiments import ALL_FIGURES
+from repro.experiments.parallel import (
+    PointFailure,
+    in_worker,
+    set_default_jobs,
+    sweep_map,
+    using_jobs,
+)
 from repro.hw import memory as hw_memory
 
-__all__ = ["main", "run_figures", "run_one"]
+__all__ = ["main", "run_figures", "run_one", "run_selected", "FIGURE_GROUPS"]
+
+#: Figures that must run in the same worker because they share one
+#: memoised application sweep (running them apart would recompute it).
+FIGURE_GROUPS: list[list[str]] = [
+    ["fig01_timeline"],
+    ["fig02_rdma_latency"],
+    ["fig03_rdma_bw"],
+    ["fig04_pingpong_staging"],
+    ["fig05_registration"],
+    ["fig11_stencil_time", "fig12_stencil_overlap"],
+    ["fig13_ialltoall", "fig14_ialltoall_overlap"],
+    ["fig15_group_vs_simple"],
+    ["fig16_p3dfft"],
+    ["fig17_hpl"],
+]
 
 
 def run_one(name: str, scale: str = "quick", profile: bool = False):
@@ -82,29 +118,154 @@ def run_one(name: str, scale: str = "quick", profile: bool = False):
         return None, exc
 
 
-def run_figures(names: list[str], scale: str = "quick") -> list:
-    """Run several figures, raising on the first failure (library use)."""
-    results = []
+def _run_group(names: tuple, scale: str) -> list[dict]:
+    """Sweep-point function for figure-level sharding: one worker runs a
+    whole figure group serially (nested sweeps stay in-process) and
+    returns picklable per-figure records."""
+    records = []
     for name in names:
         fig, exc = run_one(name, scale=scale)
-        if exc is not None:
-            raise exc
-        results.append(fig)
+        records.append({
+            "name": name,
+            "fig": fig,
+            "error": None if exc is None else repr(exc),
+            "traceback": None if exc is None else "".join(
+                traceback.format_exception(exc)),
+            # The live exception for in-process callers (run_figures
+            # re-raises it); dropped in workers, where the record
+            # crosses a pickle boundary and the string form is the
+            # reliable representation.
+            "exc": None if in_worker() else exc,
+        })
+    return records
+
+
+def _groups_for(names: list[str]) -> list[list[str]]:
+    """Figure groups restricted to ``names``, in canonical order."""
+    groups = []
+    for group in FIGURE_GROUPS:
+        members = [n for n in group if n in names]
+        if members:
+            groups.append(members)
+    # Figures missing from FIGURE_GROUPS (future additions) run alone.
+    grouped = {n for g in groups for n in g}
+    for name in names:
+        if name not in grouped:
+            groups.append([name])
+    return groups
+
+
+def run_selected(
+    names: list[str] | None = None,
+    scale: str = "quick",
+    jobs: int = 1,
+    profile: bool = False,
+    progress=None,
+) -> list[dict]:
+    """Run figures (optionally sharded over ``jobs`` workers).
+
+    Returns one record per figure, in canonical figure order:
+    ``{"name", "fig": FigureResult | None, "error": str | None,
+    "traceback": str | None, "exc": BaseException | None}``.  ``exc``
+    is the live exception when the figure ran in this process and None
+    when it ran in a worker; every other field is identical for every
+    ``jobs`` value -- only the wall clock changes.
+    """
+    names = list(names) if names is not None else list(ALL_FIGURES)
+    groups = _groups_for(names)
+    jobs = max(1, int(jobs))
+    if profile:
+        jobs = 1
+
+    if jobs > 1 and len(groups) == 1:
+        # One group: nothing to shard at figure level -- parallelise the
+        # sweep points *inside* the figure instead.
+        with using_jobs(jobs):
+            return _run_group(tuple(groups[0]), scale)
+
+    if jobs > 1:
+        points = [(tuple(group), scale) for group in groups]
+        outcomes = sweep_map(_run_group, points, jobs=jobs, on_error="keep",
+                             label="figures", progress=progress)
+        records: list[dict] = []
+        for group, outcome in zip(groups, outcomes):
+            if isinstance(outcome, PointFailure):
+                for name in group:
+                    records.append({
+                        "name": name, "fig": None,
+                        "error": f"{outcome.error_type}: {outcome.message}",
+                        "traceback": outcome.traceback,
+                        "exc": None,
+                    })
+            else:
+                records.extend(outcome)
+        return records
+
+    # jobs == 1: fully serial, including nested sweeps -- this is the
+    # reference execution every parallel mode must reproduce bit-for-bit.
+    records = []
+    with using_jobs(1):
+        for group in groups:
+            for name in group:
+                fig, exc = run_one(name, scale=scale, profile=profile)
+                records.append({
+                    "name": name,
+                    "fig": fig,
+                    "error": None if exc is None else repr(exc),
+                    "traceback": None if exc is None else "".join(
+                        traceback.format_exception(exc)),
+                    "exc": exc,
+                })
+    return records
+
+
+def run_figures(names: list[str], scale: str = "quick", jobs: int = 1) -> list:
+    """Run several figures, raising on the first failure (library use).
+
+    Serial runs re-raise the figure's original exception; sharded runs
+    (where the exception object stayed in the worker) raise a
+    ``RuntimeError`` carrying the worker's formatted traceback.
+    """
+    results = []
+    for rec in run_selected(names, scale=scale, jobs=jobs):
+        if rec["error"] is not None:
+            if rec.get("exc") is not None:
+                raise rec["exc"]
+            raise RuntimeError(
+                f"{rec['name']} failed: {rec['error']}\n{rec['traceback']}")
+        results.append(rec["fig"])
     return results
+
+
+def _print_progress(ev: dict) -> None:
+    if ev["event"] != "done":
+        return
+    names = ",".join(ev["point"][0])
+    status = "done" if ev.get("ok") else "CRASHED"
+    print(f"  [jobs] {names}: {status} ({ev.get('wall_s', 0.0):.1f}s)",
+          file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("figures", nargs="*", help="figNN prefixes to run (default: all)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every figure (same as no figNN args)")
     parser.add_argument("--scale", default="quick", choices=["quick", "paper"])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for figure/sweep sharding "
+                             "(default: $REPRO_JOBS or 1)")
     parser.add_argument("--out", default=None, help="directory for per-figure text tables")
     parser.add_argument("--bench", action="store_true",
                         help="also run engine microbenchmarks and write BENCH_engine.json")
+    parser.add_argument("--bench-parallel", action="store_true",
+                        help="rerun the selected figures at jobs=1/2/4 and "
+                             "write a BENCH_parallel.json scaling snapshot")
     parser.add_argument("--profile", action="store_true",
                         help="run each figure under cProfile (top 25 cumulative)")
     args = parser.parse_args(argv)
 
-    if args.figures:
+    if args.figures and not args.all:
         selected = [
             name for name in ALL_FIGURES
             if any(name.startswith(prefix) for prefix in args.figures)
@@ -115,17 +276,33 @@ def main(argv: list[str] | None = None) -> int:
     else:
         selected = list(ALL_FIGURES)
 
+    jobs = args.jobs
+    if jobs is None:
+        try:
+            jobs = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        except ValueError:
+            jobs = 1
+    # Make the ambient default match the CLI choice so directly-invoked
+    # helpers (ablations, figure modules) see the same setting.
+    set_default_jobs(jobs)
+
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
+    records = run_selected(
+        selected, scale=args.scale, jobs=jobs, profile=args.profile,
+        progress=_print_progress if jobs > 1 else None,
+    )
+
     statuses: list[tuple[str, str]] = []
     fig_walls: dict[str, float] = {}
-    for name in selected:
-        fig, exc = run_one(name, scale=args.scale, profile=args.profile)
-        if exc is not None:
-            print(f"{name}: CRASHED: {exc!r}", file=sys.stderr)
-            traceback.print_exception(exc, file=sys.stderr)
+    for rec in records:
+        name, fig = rec["name"], rec["fig"]
+        if fig is None:
+            print(f"{name}: CRASHED: {rec['error']}", file=sys.stderr)
+            if rec["traceback"]:
+                print(rec["traceback"], file=sys.stderr)
             statuses.append((name, "crash"))
             continue
         text = fig.render()
@@ -148,6 +325,18 @@ def main(argv: list[str] | None = None) -> int:
         bench_dir = out_dir if out_dir else Path("results")
         bench_dir.mkdir(parents=True, exist_ok=True)
         bench_path = bench_dir / "BENCH_engine.json"
+        bench_path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {bench_path}")
+
+    if args.bench_parallel:
+        from repro.experiments import benchkit
+
+        print("running parallel-scaling snapshot (jobs=1/2/4)...")
+        snap = benchkit.collect_parallel_snapshot(
+            names=selected, scale=args.scale, verbose=True)
+        bench_dir = out_dir if out_dir else Path("results")
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        bench_path = bench_dir / "BENCH_parallel.json"
         bench_path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
         print(f"wrote {bench_path}")
 

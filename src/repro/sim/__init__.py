@@ -24,7 +24,7 @@ from repro.sim.core import (
 )
 from repro.sim.process import Process
 from repro.sim.resources import PriorityStore, Resource, Store
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, spawn_seed
 
 __all__ = [
     "AllOf",
@@ -36,6 +36,7 @@ __all__ = [
     "Process",
     "Resource",
     "RngRegistry",
+    "spawn_seed",
     "SimulationError",
     "Simulator",
     "Store",

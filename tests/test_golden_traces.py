@@ -19,6 +19,7 @@ serialiser renames them to dense first-appearance indices (``r0``,
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -139,7 +140,11 @@ def test_event_stream_matches_golden(name, regen_golden):
     path = GOLDEN_DIR / f"{name}.events"
     if regen_golden:
         GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(got)
+        # Atomic per-process write: safe under pytest-xdist, where
+        # another worker may be reading the file for its own scenario.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(got)
+        os.replace(tmp, path)
         pytest.skip(f"regenerated {path.name} ({len(got.splitlines())} events)")
     assert path.exists(), (
         f"{path} missing -- run pytest with --regen-golden to create it"
