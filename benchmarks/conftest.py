@@ -23,20 +23,13 @@ def _write_if_changed(path: Path, text: str) -> bool:
 
     Keeps an unchanged benchmark run from dirtying the checked-in
     ``results/`` snapshots (mtime churn shows up as spurious diffs in
-    build tooling).  The write goes through a per-process temp file and
-    an atomic rename so concurrent pytest-xdist workers can never
-    interleave partial contents.  Returns True when the file was
-    (re)written.
+    build tooling).  Delegates to the shared atomic-write helper so
+    concurrent pytest-xdist workers can never interleave partial
+    contents.  Returns True when the file was (re)written.
     """
-    try:
-        if path.read_text() == text:
-            return False
-    except OSError:
-        pass
-    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-    return True
+    from repro.util import write_if_changed
+
+    return write_if_changed(path, text)
 
 
 @pytest.fixture(scope="session")

@@ -6,6 +6,9 @@ Commands:
                           across N worker processes (see experiments.runall)
     figures [figNN ...]   alias of ``run``
     ablations             run the ablation studies
+    soak [--iters N ...]  chaos-soak SLO harness: exchange workloads under
+                          seeded fault plans with checkpointed iterations
+                          (see experiments.soak / docs/RESILIENCE.md)
     info                  print package / inventory summary
 """
 
@@ -27,7 +30,9 @@ def _info() -> int:
     print("entry points:")
     print("  python -m repro run --all --jobs 4   # parallel figure regen")
     print("  python -m repro run [figNN ...] [--scale quick|paper] [--jobs N]")
+    print("  python -m repro run --all --resume results/campaign  # crash-safe")
     print("  python -m repro ablations")
+    print("  python -m repro soak --iters 10  # chaos-soak SLO harness")
     print("  pytest tests/                 # unit/integration/property tests")
     print("  pytest benchmarks/ --benchmark-only")
     print("  python examples/quickstart.py")
@@ -61,6 +66,10 @@ def main(argv: list[str] | None = None) -> int:
         return runall_main(args[1:])
     if args[0] == "ablations":
         return _ablations()
+    if args[0] == "soak":
+        from repro.experiments.soak import main as soak_main
+
+        return soak_main(args[1:])
     print(f"unknown command {args[0]!r}; try `python -m repro info`")
     return 2
 

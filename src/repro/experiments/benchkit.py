@@ -391,8 +391,10 @@ def main(argv: list[str] | None = None) -> int:
     snap = collect_snapshot(repeats=args.repeats, verbose=True)
 
     if args.out:
-        Path(args.out).write_text(
-            json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        from repro.util import atomic_write
+
+        atomic_write(Path(args.out),
+                     json.dumps(snap, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")
 
     if args.compare:

@@ -11,14 +11,14 @@ regardless of job count or completion order.
 
 Design rules that make "parallel changes nothing" hold:
 
-* **Ordered merge.**  Workers pull points off a shared queue
-  (self-scheduling / work stealing -- a free worker immediately grabs
-  the next undone point), results stream back tagged with their point
-  index, and :func:`merge_messages` re-assembles them in index order.
+* **Ordered merge.**  The parent dispatches the next undone point to
+  the first idle worker (self-scheduling / work stealing); results
+  stream back tagged with their point index, and
+  :func:`merge_messages` re-assembles them in index order.
 * **Seeds from the spec, never the clock.**  Each point gets a seed
   derived by :func:`repro.sim.rng.spawn_seed` from the sweep's root
   seed and the point's stable key ``(label, index)``.  The derivation
-  is pure, so job count and completion order cannot perturb it.
+  is pure, so job count, completion order and retries cannot perturb it.
 * **Fresh interpreters.**  Workers are started with the ``spawn``
   method: no inherited module-global counters, lru_caches or RNG state
   from the parent can leak into a point's behaviour.
@@ -30,9 +30,32 @@ Design rules that make "parallel changes nothing" hold:
   around its point and the parent max-merges them, so per-figure
   ``peak_resident_bytes`` snapshots match the serial run exactly.
 
+Resilience (docs/RESILIENCE.md):
+
+* **Retry + quarantine.**  ``retries=N`` re-runs a *transiently* failed
+  point (worker death, :class:`DeadlockError`, timeouts -- see
+  :data:`TRANSIENT_ERROR_TYPES`) up to N extra times with exponential
+  backoff, each attempt on a freshly spawned worker.  A point that
+  exhausts its budget is **quarantined**: its :class:`PointFailure`
+  (with the attempt count) occupies the slot and the sweep keeps going.
+* **Hang conversion.**  ``point_timeout`` bounds one point's wall
+  clock; an overdue worker is killed and the point becomes a
+  structured ``PointTimeout`` failure (retryable) instead of wedging
+  the campaign.  Enforcement needs process isolation, so a timeout
+  routes even a jobs=1 sweep through a single-worker pool.
+* **Journal.**  ``journal=`` (a :class:`~repro.experiments.campaign.Journal`)
+  makes the sweep resumable: completed points are durably recorded
+  under a content key of (label, seed, point) and skipped -- with
+  byte-identical results and merged peak-memory watermarks -- on the
+  next run.
+* **Stall detection.**  The parent's dead-worker sweep and the
+  all-workers-gone backstop use ``stall_timeout`` (default
+  ``$REPRO_STALL_TIMEOUT`` or 30 s; ``runall --scale paper`` scales it
+  up) instead of a hard-coded constant.
+
 Progress/timing flows back over the same IPC channel as results
-(``start``/``done`` events through an optional ``progress`` callback);
-``benchkit`` consumes it to stamp per-figure walls and the
+(``start``/``done``/``retry`` events through an optional ``progress``
+callback); ``benchkit`` consumes it to stamp per-figure walls and the
 ``results/BENCH_parallel.json`` scaling snapshot.
 
 Job-count resolution: an explicit ``jobs=`` argument wins; otherwise
@@ -43,6 +66,7 @@ process nested sweeps always run serially (no pool-in-pool).
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing as mp
 import os
 import pickle
@@ -51,16 +75,18 @@ import traceback
 from queue import Empty
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.sim.rng import spawn_seed
 
 __all__ = [
     "PointFailure",
     "SweepError",
+    "TRANSIENT_ERROR_TYPES",
     "sweep_map",
     "merge_messages",
     "point_seeds",
+    "default_stall_timeout",
     "set_default_jobs",
     "get_default_jobs",
     "using_jobs",
@@ -77,6 +103,34 @@ _IN_WORKER = False
 #: interpreter (override with REPRO_MP_START=fork for faster startup
 #: on platforms where fork is safe).
 _START_METHOD = os.environ.get("REPRO_MP_START", "spawn")
+
+#: Error types treated as *transient* by the retry machinery: the point
+#: itself may be fine, the execution environment failed around it.
+#: Everything else (a ValueError in the figure code, a failed shape
+#: check) is deterministic and retrying it would reproduce the failure.
+TRANSIENT_ERROR_TYPES = frozenset({
+    "WorkerDied",       # hard process death (SIGKILL, segfault, os._exit)
+    "PointTimeout",     # killed by the per-point hang watchdog
+    "DeadlockError",    # sim watchdog fired (chaos can starve progress)
+    "OSError",          # resource exhaustion around the point
+    "MemoryError",
+    "ConnectionError",
+    "EOFError",
+    "BrokenPipeError",
+})
+
+
+def default_stall_timeout() -> float:
+    """Seconds of silence after a worker death before failing stragglers.
+
+    ``$REPRO_STALL_TIMEOUT`` overrides the 30 s default (paper-scale
+    points legitimately run for minutes; ``runall --scale paper``
+    exports a scaled value for its nested sweeps).
+    """
+    try:
+        return max(1.0, float(os.environ.get("REPRO_STALL_TIMEOUT", "30")))
+    except ValueError:
+        return 30.0
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +189,9 @@ class PointFailure:
 
     Occupies the failed point's slot in the merged result list; the
     neighbouring points are unaffected (keep-going semantics).
+    ``attempts`` counts every execution attempt (1 without retries);
+    ``quarantined`` marks a failure that survived the retry budget and
+    was deliberately parked rather than aborting the sweep.
     """
 
     index: int
@@ -142,10 +199,25 @@ class PointFailure:
     error_type: str
     message: str
     traceback: str = ""
+    attempts: int = 1
+    quarantined: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (campaign reports, SLO artifacts)."""
+        return {
+            "index": self.index,
+            "point": repr(self.point),
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "quarantined": self.quarantined,
+        }
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        q = " quarantined" if self.quarantined else ""
         return f"PointFailure(#{self.index} {self.point!r}: " \
-               f"{self.error_type}: {self.message})"
+               f"{self.error_type}: {self.message}; " \
+               f"attempts={self.attempts}{q})"
 
 
 class SweepError(RuntimeError):
@@ -205,6 +277,12 @@ def point_seeds(root_seed: int, label: str, n_points: int) -> list[int]:
     return [spawn_seed(root_seed, label, i) for i in range(n_points)]
 
 
+def _point_journal_key(journal, label: str, seed: int, point) -> str:
+    from repro.experiments.campaign import point_key
+
+    return point_key(label, seed, point)
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -217,7 +295,10 @@ def _call_point(fn: Callable, point, seed_kwarg: str | None, seed: int):
 
 
 def _worker_main(wid: int, fn, seed_kwarg, task_q, result_q) -> None:
-    """Pull points off the shared queue until the ``None`` sentinel."""
+    """Serve points from this worker's private queue until the ``None``
+    sentinel.  The queue holds at most one task at a time (the parent
+    dispatches point-by-point), which is what lets the parent kill an
+    idle or hung worker without racing a half-claimed task."""
     global _IN_WORKER
     _IN_WORKER = True
     from repro.hw import memory as hw_memory
@@ -227,14 +308,14 @@ def _worker_main(wid: int, fn, seed_kwarg, task_q, result_q) -> None:
         if item is None:
             break
         index, point, seed = item
-        result_q.put(("start", wid, index, None))
         hw_memory.reset_peak_stats()
         t0 = time.perf_counter()
         try:
             value = _call_point(fn, point, seed_kwarg, seed)
             # Pickle here, synchronously: an unpicklable result must
             # surface as this point's failure, not as a feeder-thread
-            # crash that wedges the whole sweep.
+            # crash that wedges the whole sweep.  The same blob doubles
+            # as the journal payload on the parent side.
             blob = pickle.dumps((value, hw_memory.peak_stats()))
             result_q.put(("ok", wid, index,
                           (blob, time.perf_counter() - t0)))
@@ -255,9 +336,36 @@ def _worker_main(wid: int, fn, seed_kwarg, task_q, result_q) -> None:
 # ---------------------------------------------------------------------------
 
 @dataclass
-class _PoolState:
-    procs: list = field(default_factory=list)
-    inflight: dict = field(default_factory=dict)  # wid -> point index
+class _Worker:
+    """Parent-side handle of one worker process and its private queue."""
+
+    wid: int
+    proc: Any
+    task_q: Any
+    #: Point index currently dispatched to this worker (None = idle).
+    index: Optional[int] = None
+    #: ``time.monotonic()`` of the dispatch (hang watchdog anchor).
+    started: float = 0.0
+
+
+@dataclass
+class _SweepConfig:
+    """Resolved knobs of one pool run (packed to keep signatures sane)."""
+
+    fn: Callable
+    points: list
+    label: str
+    seeds: list[int]
+    seed_kwarg: Optional[str]
+    on_error: str
+    progress: Optional[Callable]
+    retries: int = 0
+    retry_backoff: float = 0.05
+    transient: frozenset = TRANSIENT_ERROR_TYPES
+    journal: Any = None
+    journal_if: Optional[Callable] = None
+    stall_timeout: float = 30.0
+    point_timeout: Optional[float] = None
 
 
 def sweep_map(
@@ -269,6 +377,13 @@ def sweep_map(
     seed_root: int = 0,
     seed_kwarg: str | None = None,
     progress: Callable[[dict], None] | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
+    transient: Iterable[str] | None = None,
+    journal=None,
+    journal_if: Callable[[Any], bool] | None = None,
+    stall_timeout: float | None = None,
+    point_timeout: float | None = None,
 ) -> list:
     """Run ``fn`` over ``points``; return results in point order.
 
@@ -283,14 +398,31 @@ def sweep_map(
     original exception); ``on_error='keep'`` leaves a
     :class:`PointFailure` in the failed slot.
 
+    ``retries`` grants each point that many *extra* attempts when it
+    fails with a transient error type (``transient`` overrides
+    :data:`TRANSIENT_ERROR_TYPES`), with exponential backoff
+    (``retry_backoff * 2**(attempt-1)`` seconds) between attempts; in
+    pool mode every retry runs on a freshly spawned worker.  A point
+    that exhausts the budget is quarantined (see :class:`PointFailure`).
+
+    ``journal`` (a :class:`repro.experiments.campaign.Journal`) makes
+    the sweep resumable: completed points are recorded durably and
+    served from the journal on re-runs.  ``journal_if`` optionally
+    filters which successful results are worth journaling.
+
+    ``point_timeout`` kills any single point exceeding that many
+    wall-clock seconds (a retryable ``PointTimeout`` failure); it
+    forces pool execution even at jobs=1, since hang conversion needs
+    a killable process boundary.
+
     ``seed_kwarg`` names a keyword argument of ``fn`` that receives the
     point's derived seed (``spawn_seed(seed_root, label, index)``);
     without it the seeds are still derived and reported through
     ``progress`` so stochastic figures can adopt them incrementally.
 
     ``progress`` (parent-side) receives dict events:
-    ``{"event": "start"|"done", "label", "index", "point", "ok",
-    "wall_s", "seed"}``.
+    ``{"event": "start"|"done"|"retry", "label", "index", "point",
+    "ok", "wall_s", "seed", "attempt", "cached"}`` (keys as relevant).
     """
     if on_error not in ("raise", "keep"):
         raise ValueError(f"on_error must be 'raise' or 'keep', not {on_error!r}")
@@ -298,172 +430,443 @@ def sweep_map(
     label = label or getattr(fn, "__name__", "sweep")
     seeds = point_seeds(seed_root, label, len(points))
     n_jobs = _resolve_jobs(jobs, len(points))
-    if n_jobs <= 1:
-        return _sweep_serial(fn, points, on_error, label, seeds,
-                             seed_kwarg, progress)
-    return _sweep_pool(fn, points, n_jobs, on_error, label, seeds,
-                       seed_kwarg, progress)
+    cfg = _SweepConfig(
+        fn=fn, points=points, label=label, seeds=seeds,
+        seed_kwarg=seed_kwarg, on_error=on_error, progress=progress,
+        retries=max(0, int(retries)),
+        retry_backoff=max(0.0, float(retry_backoff)),
+        transient=frozenset(transient) if transient is not None
+        else TRANSIENT_ERROR_TYPES,
+        journal=journal, journal_if=journal_if,
+        stall_timeout=(default_stall_timeout() if stall_timeout is None
+                       else max(1.0, float(stall_timeout))),
+        point_timeout=point_timeout,
+    )
+    # Hang conversion needs a killable process boundary; route a
+    # timed sweep through a pool even when it is otherwise serial.
+    if n_jobs <= 1 and not (point_timeout and not _IN_WORKER):
+        return _sweep_serial(cfg)
+    return _sweep_pool(cfg, n_jobs)
 
 
-def _sweep_serial(fn, points, on_error, label, seeds, seed_kwarg, progress):
+# ---------------------------------------------------------------------------
+# serial execution (the reference semantics)
+# ---------------------------------------------------------------------------
+
+def _journal_key_of(cfg: _SweepConfig, index: int) -> str:
+    """Journal key of one point: (label, seed, point).
+
+    The seed enters the key only for seeded sweeps (``seed_kwarg``
+    set): an unseeded ``fn`` cannot depend on the per-point seed, so
+    its records stay valid -- and reusable -- whatever position the
+    point occupies in a later selection (``runall --resume`` with a
+    different figure subset).
+    """
+    seed = cfg.seeds[index] if cfg.seed_kwarg else None
+    return _point_journal_key(cfg.journal, cfg.label, seed,
+                              cfg.points[index])
+
+
+def _journal_lookup(cfg: _SweepConfig, index: int):
+    """``(value, peak)`` journaled for this point, or None."""
+    if cfg.journal is None:
+        return None
+    return cfg.journal.lookup(_journal_key_of(cfg, index))
+
+
+def _journal_record(cfg: _SweepConfig, index: int, value, peak,
+                    blob: bytes | None = None) -> None:
+    if cfg.journal is None:
+        return
+    if cfg.journal_if is not None and not cfg.journal_if(value):
+        return
+    key = _journal_key_of(cfg, index)
+    try:
+        if blob is not None:
+            cfg.journal.record_bytes(key, blob, meta={"index": index})
+        else:
+            cfg.journal.record(key, (value, peak), meta={"index": index})
+    except Exception:
+        # Journaling is an optimisation for the *next* run; never let a
+        # record failure (unpicklable value, full disk) kill this one.
+        pass
+
+
+def _sweep_serial(cfg: _SweepConfig) -> list:
+    from repro.hw import memory as hw_memory
+
     results = []
     failures = []
-    for index, point in enumerate(points):
-        if progress is not None:
-            progress({"event": "start", "label": label, "index": index,
-                      "point": point, "seed": seeds[index]})
+    for index, point in enumerate(cfg.points):
+        cached = _journal_lookup(cfg, index)
+        if cached is not None:
+            value, peak = cached
+            hw_memory.record_peak(peak)
+            results.append(value)
+            if cfg.progress is not None:
+                cfg.progress({"event": "done", "label": cfg.label,
+                              "index": index, "point": point, "ok": True,
+                              "wall_s": 0.0, "seed": cfg.seeds[index],
+                              "cached": True})
+            continue
+        if cfg.progress is not None:
+            cfg.progress({"event": "start", "label": cfg.label, "index": index,
+                          "point": point, "seed": cfg.seeds[index]})
         t0 = time.perf_counter()
-        try:
-            value = _call_point(fn, point, seed_kwarg, seeds[index])
-            ok = True
-        except Exception as exc:
-            if on_error == "raise":
-                raise
-            value = PointFailure(
-                index=index, point=point,
-                error_type=type(exc).__name__, message=str(exc),
-                traceback=traceback.format_exc(),
-            )
+        value, ok, attempts = _run_point_serial(cfg, index, point)
+        if not ok:
             failures.append(value)
-            ok = False
         results.append(value)
-        if progress is not None:
-            progress({"event": "done", "label": label, "index": index,
-                      "point": point, "ok": ok,
-                      "wall_s": time.perf_counter() - t0,
-                      "seed": seeds[index]})
+        if cfg.progress is not None:
+            cfg.progress({"event": "done", "label": cfg.label, "index": index,
+                          "point": point, "ok": ok,
+                          "wall_s": time.perf_counter() - t0,
+                          "seed": cfg.seeds[index], "attempt": attempts})
     return results
 
 
-def _sweep_pool(fn, points, n_jobs, on_error, label, seeds,
-                seed_kwarg, progress):
+def _run_point_serial(cfg: _SweepConfig, index: int, point):
+    """One point, serial mode, with in-place retries.
+
+    Returns ``(value_or_failure, ok, attempts)``.  ``on_error='raise'``
+    re-raises the original exception once the retry budget is spent
+    (preserving serial raise semantics for non-retrying callers).
+    """
     from repro.hw import memory as hw_memory
 
-    ctx = mp.get_context(_START_METHOD)
-    task_q = ctx.Queue()
-    result_q = ctx.Queue()
-    for index, point in enumerate(points):
-        task_q.put((index, point, seeds[index]))
-    for _ in range(n_jobs):
-        task_q.put(None)
+    attempts = 0
+    while True:
+        attempts += 1
+        # Isolate this point's watermark so its journal record carries
+        # its own peak; max-merge keeps the global watermark exact.
+        before = hw_memory.peak_stats()
+        hw_memory.reset_peak_stats()
+        try:
+            value = _call_point(cfg.fn, point, cfg.seed_kwarg,
+                                cfg.seeds[index])
+            peak = hw_memory.peak_stats()
+            hw_memory.record_peak(before)
+            _journal_record(cfg, index, value, peak)
+            return value, True, attempts
+        except Exception as exc:
+            hw_memory.record_peak(before)
+            retryable = (type(exc).__name__ in cfg.transient
+                         and attempts <= cfg.retries)
+            if retryable:
+                if cfg.progress is not None:
+                    cfg.progress({"event": "retry", "label": cfg.label,
+                                  "index": index, "point": point,
+                                  "attempt": attempts,
+                                  "error_type": type(exc).__name__,
+                                  "seed": cfg.seeds[index]})
+                backoff = cfg.retry_backoff * (2 ** (attempts - 1))
+                if backoff > 0:
+                    time.sleep(backoff)
+                continue
+            if cfg.on_error == "raise":
+                raise
+            failure = PointFailure(
+                index=index, point=point,
+                error_type=type(exc).__name__, message=str(exc),
+                traceback=traceback.format_exc(),
+                attempts=attempts, quarantined=True,
+            )
+            return failure, False, attempts
 
-    state = _PoolState()
-    for wid in range(n_jobs):
-        proc = ctx.Process(
+
+# ---------------------------------------------------------------------------
+# pool execution
+# ---------------------------------------------------------------------------
+
+class _Pool:
+    """Parent-side scheduler: dispatch, retry, hang watchdog, respawn.
+
+    Unlike a shared task queue, the parent hands each worker exactly one
+    point at a time through a private queue.  That makes every unit of
+    work attributable -- a dead or hung worker implicates exactly one
+    known point -- so retries, timeouts and replacement workers are
+    race-free by construction.
+    """
+
+    def __init__(self, cfg: _SweepConfig, n_jobs: int):
+        self.cfg = cfg
+        self.n_jobs = n_jobs
+        self.ctx = mp.get_context(_START_METHOD)
+        self.result_q = self.ctx.Queue()
+        self.workers: dict[int, _Worker] = {}
+        self._next_wid = 0
+        self.pending: list[int] = []          # indices awaiting dispatch
+        self.retry_at: list[tuple[float, int]] = []  # (monotonic, index) heap
+        self.attempts: dict[int, int] = {}
+        self.messages: list[tuple] = []
+        self.completed: set[int] = set()
+        self.last_event = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def spawn_worker(self) -> _Worker:
+        wid = self._next_wid
+        self._next_wid += 1
+        task_q = self.ctx.Queue()
+        proc = self.ctx.Process(
             target=_worker_main,
-            args=(wid, fn, seed_kwarg, task_q, result_q),
+            args=(wid, self.cfg.fn, self.cfg.seed_kwarg, task_q,
+                  self.result_q),
             daemon=True,
         )
         proc.start()
-        state.procs.append(proc)
+        worker = _Worker(wid=wid, proc=proc, task_q=task_q)
+        self.workers[wid] = worker
+        return worker
 
-    messages: list[tuple] = []
-    completed: set[int] = set()
-    stalled_since: float | None = None
+    def retire_worker(self, worker: _Worker, kill: bool = False) -> None:
+        self.workers.pop(worker.wid, None)
+        if worker.proc.is_alive():
+            if kill:
+                worker.proc.kill()
+            else:
+                worker.proc.terminate()
+        worker.task_q.cancel_join_thread()
+
+    def shutdown(self) -> None:
+        for worker in list(self.workers.values()):
+            if worker.proc.is_alive():
+                try:
+                    worker.task_q.put(None)
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+        deadline = time.monotonic() + 5.0
+        for worker in list(self.workers.values()):
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+            worker.task_q.cancel_join_thread()
+        self.result_q.cancel_join_thread()
+
+    # -- scheduling -----------------------------------------------------
+
+    def unresolved(self) -> int:
+        return len(self.cfg.points) - len(self.completed)
+
+    def promote_due_retries(self) -> None:
+        now = time.monotonic()
+        while self.retry_at and self.retry_at[0][0] <= now:
+            _, index = heapq.heappop(self.retry_at)
+            # A late result may have completed the point while its
+            # retry was waiting out the backoff.
+            if index not in self.completed:
+                self.pending.append(index)
+
+    def dispatch(self) -> None:
+        """Hand pending points to idle live workers, spawning up to the
+        job budget when dispatchable work outnumbers live workers."""
+        if not self.pending:
+            return
+        for worker in list(self.workers.values()):
+            if worker.index is None and not worker.proc.is_alive():
+                # Died while idle (exit-on-exception path): replace lazily.
+                self.retire_worker(worker)
+        busy = sum(1 for w in self.workers.values() if w.index is not None)
+        while self.pending and len(self.workers) < min(self.n_jobs,
+                                                       busy + len(self.pending)):
+            self.spawn_worker()
+        for worker in self.workers.values():
+            while self.pending and self.pending[0] in self.completed:
+                self.pending.pop(0)
+            if not self.pending:
+                break
+            if worker.index is not None:
+                continue
+            index = self.pending.pop(0)
+            self.attempts[index] = self.attempts.get(index, 0) + 1
+            worker.index = index
+            worker.started = time.monotonic()
+            worker.task_q.put((index, self.cfg.points[index],
+                               self.cfg.seeds[index]))
+            self._progress({"event": "start", "index": index,
+                            "attempt": self.attempts[index]})
+
+    def _progress(self, ev: dict) -> None:
+        if self.cfg.progress is None:
+            return
+        index = ev["index"]
+        ev.setdefault("label", self.cfg.label)
+        ev.setdefault("point", self.cfg.points[index])
+        ev.setdefault("seed", self.cfg.seeds[index])
+        self.cfg.progress(ev)
+
+    # -- resolution -----------------------------------------------------
+
+    def resolve_ok(self, index: int, value, peak, wall: float,
+                   blob: bytes | None = None) -> None:
+        from repro.hw import memory as hw_memory
+
+        if index in self.completed:
+            return
+        hw_memory.record_peak(peak)
+        self.messages.append(("ok", index, value))
+        self.completed.add(index)
+        self.last_event = time.monotonic()
+        _journal_record(self.cfg, index, value, peak, blob=blob)
+        self._progress({"event": "done", "index": index, "ok": True,
+                        "wall_s": wall,
+                        "attempt": self.attempts.get(index, 1)})
+
+    def resolve_err(self, index: int, failure: PointFailure,
+                    wall: float = 0.0) -> bool:
+        """Retry a transient failure within budget, else quarantine.
+
+        Returns True when a retry was scheduled (the caller retires the
+        reporting worker, if still alive, so the retry runs on a fresh
+        process)."""
+        if index in self.completed:
+            return False
+        self.last_event = time.monotonic()
+        attempts = self.attempts.get(index, 1)
+        if (failure.error_type in self.cfg.transient
+                and attempts <= self.cfg.retries):
+            self._progress({"event": "retry", "index": index,
+                            "attempt": attempts,
+                            "error_type": failure.error_type})
+            backoff = self.cfg.retry_backoff * (2 ** (attempts - 1))
+            heapq.heappush(self.retry_at,
+                           (time.monotonic() + backoff, index))
+            return True
+        failure.attempts = attempts
+        failure.quarantined = self.cfg.on_error == "keep"
+        self.messages.append(("err", index, failure))
+        self.completed.add(index)
+        self._progress({"event": "done", "index": index, "ok": False,
+                        "wall_s": wall, "attempt": attempts})
+        return False
+
+    # -- failure detection ----------------------------------------------
+
+    def reap_dead_workers(self) -> None:
+        """Dead worker with a dispatched point -> WorkerDied failure."""
+        for worker in list(self.workers.values()):
+            if worker.proc.is_alive():
+                continue
+            index = worker.index
+            self.retire_worker(worker)
+            if index is None or index in self.completed:
+                continue
+            self.resolve_err(index, PointFailure(
+                index=index, point=self.cfg.points[index],
+                error_type="WorkerDied",
+                message=f"worker {worker.wid} exited with code "
+                        f"{worker.proc.exitcode} while running point "
+                        f"#{index}",
+            ))
+
+    def kill_overdue_workers(self) -> None:
+        """Per-point hang watchdog: kill and convert to PointTimeout."""
+        if not self.cfg.point_timeout:
+            return
+        now = time.monotonic()
+        for worker in list(self.workers.values()):
+            if worker.index is None:
+                continue
+            if now - worker.started <= self.cfg.point_timeout:
+                continue
+            index = worker.index
+            self.retire_worker(worker, kill=True)
+            self.resolve_err(index, PointFailure(
+                index=index, point=self.cfg.points[index],
+                error_type="PointTimeout",
+                message=f"point #{index} exceeded the "
+                        f"{self.cfg.point_timeout:.1f}s hang watchdog "
+                        f"(worker {worker.wid} killed)",
+            ), wall=now - worker.started)
+
+    def fail_stalled(self, why: str) -> None:
+        """Backstop: mark every unresolved point failed (no retry)."""
+        self.pending.clear()
+        self.retry_at.clear()
+        for index in range(len(self.cfg.points)):
+            if index in self.completed:
+                continue
+            self.attempts[index] = max(self.attempts.get(index, 1),
+                                       self.cfg.retries + 1)
+            self.resolve_err(index, PointFailure(
+                index=index, point=self.cfg.points[index],
+                error_type="WorkerDied", message=why,
+            ))
+
+
+def _sweep_pool(cfg: _SweepConfig, n_jobs: int) -> list:
+    from repro.hw import memory as hw_memory
+
+    pool = _Pool(cfg, n_jobs)
+
+    # Serve journaled points before any worker spawns.
+    for index in range(len(cfg.points)):
+        cached = _journal_lookup(cfg, index)
+        if cached is not None:
+            value, peak = cached
+            hw_memory.record_peak(peak)
+            pool.messages.append(("ok", index, value))
+            pool.completed.add(index)
+            pool._progress({"event": "done", "index": index, "ok": True,
+                            "wall_s": 0.0, "cached": True})
+        else:
+            pool.pending.append(index)
+
     try:
-        while len(completed) < len(points):
+        while pool.unresolved():
+            pool.promote_due_retries()
+            pool.dispatch()
+            if not pool.workers and not pool.pending and not pool.retry_at:
+                pool.fail_stalled("all workers exited before running "
+                                  "this point")
+                continue
+            wait = 1.0
+            if pool.retry_at:
+                wait = min(wait, max(0.01,
+                                     pool.retry_at[0][0] - time.monotonic()))
             try:
-                kind, wid, index, payload = result_q.get(timeout=1.0)
+                kind, wid, index, payload = pool.result_q.get(timeout=wait)
             except Empty:
-                _reap_dead_workers(state, messages, completed, points,
-                                   progress, label, seeds)
-                if len(completed) < len(points) \
-                        and not any(p.is_alive() for p in state.procs):
-                    _fail_incomplete(
-                        messages, completed, points, progress, label, seeds,
-                        "all workers exited before running this point")
-                elif any(p.exitcode not in (None, 0) for p in state.procs):
-                    # Some worker died hard; if nothing has moved for a
-                    # while its task (whose "start" never reached us)
-                    # is gone -- fail the stragglers rather than hang.
-                    now = time.monotonic()
-                    stalled_since = stalled_since or now
-                    if now - stalled_since > 30.0:
-                        _fail_incomplete(
-                            messages, completed, points, progress, label,
-                            seeds, "sweep stalled after a worker death")
+                pool.reap_dead_workers()
+                pool.kill_overdue_workers()
+                if (pool.unresolved()
+                        and not any(w.proc.is_alive()
+                                    for w in pool.workers.values())
+                        and not pool.pending and not pool.retry_at):
+                    pool.fail_stalled("all workers exited before running "
+                                      "this point")
+                elif (pool.unresolved()
+                      and time.monotonic() - pool.last_event
+                      > cfg.stall_timeout
+                      and not pool.pending and not pool.retry_at
+                      and all(w.index is None
+                              for w in pool.workers.values())):
+                    # Nothing dispatched, nothing due, nothing arriving:
+                    # results were lost in transit (worker death races).
+                    pool.fail_stalled("sweep stalled after a worker death")
                 continue
-            stalled_since = None
-            if kind == "start":
-                state.inflight[wid] = index
-                if progress is not None:
-                    progress({"event": "start", "label": label, "index": index,
-                              "point": points[index], "seed": seeds[index]})
-                continue
-            state.inflight.pop(wid, None)
-            if index in completed:
-                continue  # already reaped as a worker death; keep first
+            worker = pool.workers.get(wid)
+            if worker is not None and worker.index == index:
+                worker.index = None
             blob, wall = payload
             value = pickle.loads(blob)
             if kind == "ok":
                 result, peak = value
-                hw_memory.record_peak(peak)
-                messages.append(("ok", index, result))
+                pool.resolve_ok(index, result, peak, wall, blob=blob)
             else:
-                messages.append(("err", index, value))
-            completed.add(index)
-            if progress is not None:
-                progress({"event": "done", "label": label, "index": index,
-                          "point": points[index], "ok": kind == "ok",
-                          "wall_s": wall, "seed": seeds[index]})
+                retried = pool.resolve_err(index, value, wall=wall)
+                if retried and worker is not None:
+                    # Fresh-worker discipline: the process that just
+                    # failed this point is idle (its private queue is
+                    # empty), so retiring it here is race-free; the
+                    # next dispatch spawns a clean replacement.
+                    pool.retire_worker(worker)
     finally:
-        for proc in state.procs:
-            if proc.is_alive():
-                proc.terminate()
-        for proc in state.procs:
-            proc.join(timeout=5.0)
-        task_q.cancel_join_thread()
-        result_q.cancel_join_thread()
+        pool.shutdown()
 
-    merged = merge_messages(len(points), messages)
+    merged = merge_messages(len(cfg.points), pool.messages)
     failures = [r for r in merged if isinstance(r, PointFailure)]
-    if failures and on_error == "raise":
+    if failures and cfg.on_error == "raise":
         raise SweepError(failures)
     return merged
-
-
-def _reap_dead_workers(state, messages, completed, points, progress,
-                       label, seeds) -> None:
-    """Turn hard worker deaths (exit without a result) into failures.
-
-    Only workers with a nonzero exit code are reaped: a clean exit
-    means the worker drained its queue and flushed every result, so
-    anything it produced is still in transit and must not be
-    double-reported.
-    """
-    for wid, proc in enumerate(state.procs):
-        if proc.is_alive() or proc.exitcode in (None, 0):
-            continue
-        if wid not in state.inflight:
-            continue
-        index = state.inflight.pop(wid)
-        if index in completed:
-            continue
-        messages.append(("err", index, PointFailure(
-            index=index, point=points[index],
-            error_type="WorkerDied",
-            message=f"worker {wid} exited with code {proc.exitcode} "
-                    f"while running point #{index}",
-        )))
-        completed.add(index)
-        if progress is not None:
-            progress({"event": "done", "label": label, "index": index,
-                      "point": points[index], "ok": False, "wall_s": 0.0,
-                      "seed": seeds[index]})
-
-
-def _fail_incomplete(messages, completed, points, progress, label, seeds,
-                     why: str) -> None:
-    """Mark every never-completed point as failed (workers are gone)."""
-    for index in range(len(points)):
-        if index in completed:
-            continue
-        messages.append(("err", index, PointFailure(
-            index=index, point=points[index],
-            error_type="WorkerDied", message=why,
-        )))
-        completed.add(index)
-        if progress is not None:
-            progress({"event": "done", "label": label, "index": index,
-                      "point": points[index], "ok": False, "wall_s": 0.0,
-                      "seed": seeds[index]})

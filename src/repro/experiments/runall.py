@@ -7,6 +7,21 @@ Options:
     --jobs N         shard figure groups (and, for a single figure, its
                      sweep points) across N worker processes; output is
                      bit-identical to --jobs 1 (default: $REPRO_JOBS or 1)
+    --resume DIR     crash-safe campaign mode: journal each completed
+                     figure group into DIR/journal/ and skip groups
+                     already journaled there, so a killed campaign
+                     continues where it stopped with identical tables
+    --retries N      re-run a figure group that failed transiently
+                     (worker death, deadlock, timeout) up to N extra
+                     times on a fresh worker before quarantining it
+    --timeout SECS   per-figure-group hang watchdog: a group exceeding
+                     this wall clock is killed and recorded as a
+                     structured PointTimeout crash instead of wedging
+                     the campaign (forces pool execution)
+    --stall-timeout SECS
+                     silence window after a worker death before the
+                     sweep declares lost points failed (default
+                     $REPRO_STALL_TIMEOUT or 30; x4 under --scale paper)
     --out DIR        also write each table to DIR/figNN.txt plus a JSON
                      metrics snapshot (series + counters/histograms) to
                      DIR/figNN.json
@@ -19,9 +34,10 @@ Options:
     --profile        run each figure under cProfile and print the top
                      25 functions by cumulative time (forces --jobs 1)
 
-A crash in one figure no longer aborts the batch: the error is
-reported, the remaining figures still run, and the exit status is
-non-zero with a per-figure pass/fail summary at the end.
+Campaign exit codes (docs/RESILIENCE.md): 0 = clean (every figure
+passed), 1 = failed (shape checks failed, or nothing survived),
+2 = usage error, 3 = partial (some figures crashed or were quarantined
+but the campaign completed with usable output).
 
 Parallel mode shards *figure groups* -- figures that share a memoised
 application sweep (11/12, 13/14) stay together so the sweep still runs
@@ -44,6 +60,15 @@ import traceback
 from pathlib import Path
 
 from repro.experiments import ALL_FIGURES
+from repro.experiments.campaign import (
+    EXIT_CLEAN,
+    EXIT_FAILED,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    Journal,
+    classify_campaign,
+    point_key,
+)
 from repro.experiments.parallel import (
     PointFailure,
     in_worker,
@@ -52,6 +77,7 @@ from repro.experiments.parallel import (
     using_jobs,
 )
 from repro.hw import memory as hw_memory
+from repro.util import atomic_write
 
 __all__ = ["main", "run_figures", "run_one", "run_selected", "FIGURE_GROUPS"]
 
@@ -155,12 +181,32 @@ def _groups_for(names: list[str]) -> list[list[str]]:
     return groups
 
 
+def _group_key(group: list[str], scale: str) -> str:
+    """Journal content key of one figure group at one scale.
+
+    Matches the key ``sweep_map(label="figures", journal=...)`` derives
+    for the point ``(tuple(group), scale)`` -- one keying scheme no
+    matter which execution path (serial, inline, pool) produced the
+    record, so any path can resume any other's journal.
+    """
+    return point_key("figures", None, (tuple(group), scale))
+
+
+def _journal_safe(records: list[dict]) -> list[dict]:
+    """Strip live exception objects before pickling into the journal."""
+    return [{**rec, "exc": None} for rec in records]
+
+
 def run_selected(
     names: list[str] | None = None,
     scale: str = "quick",
     jobs: int = 1,
     profile: bool = False,
     progress=None,
+    journal: Journal | None = None,
+    retries: int = 0,
+    point_timeout: float | None = None,
+    stall_timeout: float | None = None,
 ) -> list[dict]:
     """Run figures (optionally sharded over ``jobs`` workers).
 
@@ -168,54 +214,117 @@ def run_selected(
     ``{"name", "fig": FigureResult | None, "error": str | None,
     "traceback": str | None, "exc": BaseException | None}``.  ``exc``
     is the live exception when the figure ran in this process and None
-    when it ran in a worker; every other field is identical for every
-    ``jobs`` value -- only the wall clock changes.
+    when it ran in a worker or was served from a journal; every other
+    field is identical for every ``jobs`` value -- only the wall clock
+    changes.
+
+    With ``journal`` set, every fully-successful figure group is
+    durably recorded under a content key of (group, scale) and skipped
+    -- with identical records -- when already journaled (``runall
+    --resume``).  ``retries``/``point_timeout``/``stall_timeout`` are
+    the campaign resilience knobs threaded through
+    :func:`repro.experiments.parallel.sweep_map`.
     """
     names = list(names) if names is not None else list(ALL_FIGURES)
     groups = _groups_for(names)
     jobs = max(1, int(jobs))
     if profile:
         jobs = 1
+        point_timeout = None
 
-    if jobs > 1 and len(groups) == 1:
-        # One group: nothing to shard at figure level -- parallelise the
-        # sweep points *inside* the figure instead.
-        with using_jobs(jobs):
-            return _run_group(tuple(groups[0]), scale)
+    # Resume: serve journaled groups, run only the remainder.
+    cached: dict[int, list[dict]] = {}
+    if journal is not None:
+        for gi, group in enumerate(groups):
+            hit = journal.lookup(_group_key(group, scale))
+            if hit is not None:
+                records, peak = hit
+                hw_memory.record_peak(peak)
+                cached[gi] = records
+                if progress is not None:
+                    progress({"event": "done", "label": "figures",
+                              "index": gi, "point": (tuple(group), scale),
+                              "ok": True, "wall_s": 0.0, "cached": True})
+    todo = [gi for gi in range(len(groups)) if gi not in cached]
 
-    if jobs > 1:
-        points = [(tuple(group), scale) for group in groups]
-        outcomes = sweep_map(_run_group, points, jobs=jobs, on_error="keep",
-                             label="figures", progress=progress)
-        records: list[dict] = []
-        for group, outcome in zip(groups, outcomes):
-            if isinstance(outcome, PointFailure):
-                for name in group:
-                    records.append({
-                        "name": name, "fig": None,
-                        "error": f"{outcome.error_type}: {outcome.message}",
-                        "traceback": outcome.traceback,
-                        "exc": None,
-                    })
-            else:
-                records.extend(outcome)
-        return records
+    def _group_clean(records) -> bool:
+        return bool(records) and all(r["error"] is None for r in records)
 
-    # jobs == 1: fully serial, including nested sweeps -- this is the
-    # reference execution every parallel mode must reproduce bit-for-bit.
-    records = []
-    with using_jobs(1):
-        for group in groups:
-            for name in group:
-                fig, exc = run_one(name, scale=scale, profile=profile)
-                records.append({
-                    "name": name,
-                    "fig": fig,
-                    "error": None if exc is None else repr(exc),
-                    "traceback": None if exc is None else "".join(
-                        traceback.format_exception(exc)),
-                    "exc": exc,
-                })
+    def _checkpoint(gi: int, records: list[dict]) -> None:
+        """WAL discipline: journal a fully-successful group *as it
+        completes*, so a kill at any later instant loses only in-flight
+        work (a write failure costs resumability, never correctness)."""
+        if journal is None or not _group_clean(records):
+            return
+        try:
+            journal.record(
+                _group_key(groups[gi], scale),
+                (_journal_safe(records), hw_memory.peak_stats()),
+                meta={"group": list(groups[gi]), "scale": scale},
+            )
+        except Exception:
+            pass
+
+    by_group: dict[int, list[dict]] = dict(cached)
+    if todo:
+        if jobs > 1 and len(todo) == 1 and point_timeout is None:
+            # One group: nothing to shard at figure level -- parallelise
+            # the sweep points *inside* the figure instead.
+            gi = todo[0]
+            with using_jobs(jobs):
+                by_group[gi] = _run_group(tuple(groups[gi]), scale)
+            _checkpoint(gi, by_group[gi])
+        elif jobs > 1 or point_timeout is not None:
+            points = [(tuple(groups[gi]), scale) for gi in todo]
+            outcomes = sweep_map(
+                _run_group, points, jobs=jobs, on_error="keep",
+                label="figures", progress=progress,
+                retries=retries, point_timeout=point_timeout,
+                stall_timeout=stall_timeout,
+                # The pool journals each group the moment its worker
+                # reports in (same key scheme as _group_key).
+                journal=journal,
+                journal_if=_group_clean,
+            )
+            for gi, outcome in zip(todo, outcomes):
+                if isinstance(outcome, PointFailure):
+                    by_group[gi] = [
+                        {
+                            "name": name, "fig": None,
+                            "error": f"{outcome.error_type}: "
+                                     f"{outcome.message}",
+                            "traceback": outcome.traceback,
+                            "exc": None,
+                            "quarantined": outcome.quarantined,
+                            "attempts": outcome.attempts,
+                        }
+                        for name in groups[gi]
+                    ]
+                else:
+                    by_group[gi] = outcome
+        else:
+            # jobs == 1: fully serial, including nested sweeps -- this
+            # is the reference execution every parallel mode must
+            # reproduce bit-for-bit.
+            with using_jobs(1):
+                for gi in todo:
+                    records = []
+                    for name in groups[gi]:
+                        fig, exc = run_one(name, scale=scale, profile=profile)
+                        records.append({
+                            "name": name,
+                            "fig": fig,
+                            "error": None if exc is None else repr(exc),
+                            "traceback": None if exc is None else "".join(
+                                traceback.format_exception(exc)),
+                            "exc": exc,
+                        })
+                    by_group[gi] = records
+                    _checkpoint(gi, records)
+
+    records: list[dict] = []
+    for gi in range(len(groups)):
+        records.extend(by_group[gi])
     return records
 
 
@@ -238,10 +347,18 @@ def run_figures(names: list[str], scale: str = "quick", jobs: int = 1) -> list:
 
 
 def _print_progress(ev: dict) -> None:
+    if ev["event"] == "retry":
+        names = ",".join(ev["point"][0])
+        print(f"  [jobs] {names}: retrying after {ev['error_type']} "
+              f"(attempt {ev['attempt']})", file=sys.stderr)
+        return
     if ev["event"] != "done":
         return
     names = ",".join(ev["point"][0])
-    status = "done" if ev.get("ok") else "CRASHED"
+    if ev.get("cached"):
+        status = "resumed from journal"
+    else:
+        status = "done" if ev.get("ok") else "CRASHED"
     print(f"  [jobs] {names}: {status} ({ev.get('wall_s', 0.0):.1f}s)",
           file=sys.stderr)
 
@@ -255,6 +372,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for figure/sweep sharding "
                              "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="journal completed figure groups into DIR and "
+                             "skip groups already journaled there")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for transiently-failed figure "
+                             "groups before quarantining them")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-figure-group hang watchdog in seconds")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        help="worker-death stall window in seconds "
+                             "(default $REPRO_STALL_TIMEOUT or 30; "
+                             "x4 under --scale paper)")
     parser.add_argument("--out", default=None, help="directory for per-figure text tables")
     parser.add_argument("--bench", action="store_true",
                         help="also run engine microbenchmarks and write BENCH_engine.json")
@@ -272,7 +401,7 @@ def main(argv: list[str] | None = None) -> int:
         ]
         if not selected:
             print(f"no figures match {args.figures}; available: {ALL_FIGURES}")
-            return 2
+            return EXIT_USAGE
     else:
         selected = list(ALL_FIGURES)
 
@@ -286,13 +415,28 @@ def main(argv: list[str] | None = None) -> int:
     # helpers (ablations, figure modules) see the same setting.
     set_default_jobs(jobs)
 
+    stall_timeout = args.stall_timeout
+    if args.scale == "paper":
+        # Paper-scale points legitimately run for minutes; scale the
+        # worker-death stall window (and export it so nested sweeps in
+        # workers inherit the same setting).
+        if stall_timeout is None:
+            from repro.experiments.parallel import default_stall_timeout
+
+            stall_timeout = 4.0 * default_stall_timeout()
+        os.environ.setdefault("REPRO_STALL_TIMEOUT", str(stall_timeout))
+
+    journal = Journal(args.resume, label="runall") if args.resume else None
+
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
 
     records = run_selected(
         selected, scale=args.scale, jobs=jobs, profile=args.profile,
-        progress=_print_progress if jobs > 1 else None,
+        progress=_print_progress if (jobs > 1 or args.timeout) else None,
+        journal=journal, retries=args.retries,
+        point_timeout=args.timeout, stall_timeout=stall_timeout,
     )
 
     statuses: list[tuple[str, str]] = []
@@ -300,19 +444,23 @@ def main(argv: list[str] | None = None) -> int:
     for rec in records:
         name, fig = rec["name"], rec["fig"]
         if fig is None:
-            print(f"{name}: CRASHED: {rec['error']}", file=sys.stderr)
+            kind = "quarantined" if rec.get("quarantined") else "crash"
+            attempts = rec.get("attempts", 1)
+            tried = f" after {attempts} attempts" if attempts > 1 else ""
+            print(f"{name}: {kind.upper()}{tried}: {rec['error']}",
+                  file=sys.stderr)
             if rec["traceback"]:
                 print(rec["traceback"], file=sys.stderr)
-            statuses.append((name, "crash"))
+            statuses.append((name, kind))
             continue
         text = fig.render()
         print(text)
         print()
         if out_dir:
-            (out_dir / f"{fig.fig_id}.txt").write_text(text + "\n")
+            atomic_write(out_dir / f"{fig.fig_id}.txt", text + "\n")
             snap = {"schema": "repro.obs/1", **fig.to_dict()}
-            (out_dir / f"{fig.fig_id}.json").write_text(
-                json.dumps(snap, indent=2, sort_keys=True) + "\n")
+            atomic_write(out_dir / f"{fig.fig_id}.json",
+                         json.dumps(snap, indent=2, sort_keys=True) + "\n")
         fig_walls[fig.fig_id] = fig.config.get("wall_seconds", 0.0)
         statuses.append((name, "pass" if fig.all_passed else "shape-fail"))
 
@@ -325,7 +473,8 @@ def main(argv: list[str] | None = None) -> int:
         bench_dir = out_dir if out_dir else Path("results")
         bench_dir.mkdir(parents=True, exist_ok=True)
         bench_path = bench_dir / "BENCH_engine.json"
-        bench_path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        atomic_write(bench_path,
+                     json.dumps(snap, indent=2, sort_keys=True) + "\n")
         print(f"wrote {bench_path}")
 
     if args.bench_parallel:
@@ -337,17 +486,30 @@ def main(argv: list[str] | None = None) -> int:
         bench_dir = out_dir if out_dir else Path("results")
         bench_dir.mkdir(parents=True, exist_ok=True)
         bench_path = bench_dir / "BENCH_parallel.json"
-        bench_path.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        atomic_write(bench_path,
+                     json.dumps(snap, indent=2, sort_keys=True) + "\n")
         print(f"wrote {bench_path}")
 
+    passed = sum(1 for _, s in statuses if s == "pass")
+    shape_failed = sum(1 for _, s in statuses if s == "shape-fail")
+    lost = sum(1 for _, s in statuses if s in ("crash", "quarantined"))
     bad = [(name, status) for name, status in statuses if status != "pass"]
+    if journal is not None and journal.corrupt:
+        for path, reason in journal.corrupt:
+            print(f"journal: ignored damaged record {path}: {reason}",
+                  file=sys.stderr)
     if bad:
         print(f"{len(bad)}/{len(statuses)} figure(s) failed:")
         for name, status in bad:
             print(f"  {name}: {status}")
-        return 1
+        code = classify_campaign(passed, lost, shape_failed)
+        label = {EXIT_FAILED: "failed", EXIT_PARTIAL: "partial"}.get(
+            code, "failed")
+        print(f"campaign {label} "
+              f"(pass={passed} shape-fail={shape_failed} lost={lost})")
+        return code
     print("all shape checks passed")
-    return 0
+    return EXIT_CLEAN
 
 
 if __name__ == "__main__":

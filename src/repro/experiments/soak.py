@@ -1,0 +1,255 @@
+"""Chaos-soak SLO harness: ``python -m repro soak``.
+
+Runs the offload stack's core exchange workload in a loop, each
+iteration on a fresh small cluster under a *seeded* :class:`FaultPlan`
+(control-message drops + error CQEs on the offload control kinds) and a
+DPU memory budget, and distils the recovery behaviour into a
+schema-stamped SLO report:
+
+* ``recovery_latency`` -- p50/p95/p99 of simulated seconds from a
+  request's first post to completion *for requests that needed at least
+  one recovery action* (the ``offload.recovery_latency`` histogram;
+  empty on a fault-free run by construction).
+* ``req_latency`` -- the same percentiles over every completed request.
+* ``fallback_rate`` -- host-fallback completions per completed request.
+* ``retries_per_point`` -- control retransmits per completed request.
+
+Every iteration is checkpointed into a campaign :class:`Journal` as it
+completes, so a killed soak resumes where it stopped (``--out`` doubles
+as the resume directory) and the merged report is identical to an
+uninterrupted run.  Iterations that crash are retried on fresh workers
+(``--retries``) and quarantined into the report when they keep failing;
+the exit code is the campaign classification (0 clean / 3 partial /
+1 failed).
+
+Everything draws from seeded streams -- two soaks with the same
+arguments produce byte-identical reports (modulo ``wall_seconds``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.campaign import Journal, classify_campaign
+from repro.experiments.parallel import PointFailure, sweep_map
+from repro.hw import (
+    OFFLOAD_CONTROL_KINDS,
+    Cluster,
+    ClusterSpec,
+    FaultPlan,
+    FaultSpec,
+    MachineParams,
+)
+from repro.obs.hist import Histogram
+from repro.util import atomic_write
+
+__all__ = ["main", "soak_iteration", "SOAK_SCHEMA"]
+
+SOAK_SCHEMA = "repro.soak/1"
+
+#: (exchange rounds, message bytes) per iteration.
+_SCALES = {"quick": (12, 4096), "paper": (48, 16384)}
+
+#: Per-proxy DPU DRAM budget during the soak -- tight enough that the
+#: governance layer is live, generous enough that the workload fits.
+_DPU_BUDGET = 1 << 20
+
+
+def soak_iteration(iteration: int, scale: str, drop: float,
+                   error_cqe: float, *, seed: int) -> dict:
+    """One chaos iteration: fresh cluster, seeded faults, full exchange.
+
+    Returns a picklable record of the iteration's counters, fault-plan
+    statistics, and raw latency samples (merged across iterations by
+    :func:`main` into the SLO report).
+    """
+    from repro.offload import OffloadFramework
+
+    iters, size = _SCALES[scale]
+    params = MachineParams().with_overrides(dpu_mem_budget=_DPU_BUDGET)
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1,
+                             seed=seed, params=params))
+    # The SLO metrics are latencies and counters; skip moving payload
+    # bytes (correctness-under-faults is the fault test suite's job).
+    cl.payloads = False
+    plan = FaultPlan(
+        FaultSpec(drop_prob=drop, error_cqe_prob=error_cqe,
+                  control_kinds=OFFLOAD_CONTROL_KINDS),
+        seed=seed,
+    )
+    cl.install_faults(plan)  # implies the resilient RetryPolicy
+    fw = OffloadFramework(cl)
+    sim = cl.sim
+
+    def player(rank: int, peer: int):
+        def prog(sim):
+            ep = fw.endpoint(rank)
+            sbuf = ep.ctx.space.alloc(size)
+            rbuf = ep.ctx.space.alloc(size)
+            for i in range(iters):
+                if rank == 0:
+                    sreq = yield from ep.send_offload(sbuf, size, dst=peer,
+                                                      tag=2 * i)
+                    yield from ep.wait(sreq)
+                    rreq = yield from ep.recv_offload(rbuf, size, src=peer,
+                                                      tag=2 * i + 1)
+                    yield from ep.wait(rreq)
+                else:
+                    rreq = yield from ep.recv_offload(rbuf, size, src=peer,
+                                                      tag=2 * i)
+                    yield from ep.wait(rreq)
+                    sreq = yield from ep.send_offload(sbuf, size, dst=peer,
+                                                      tag=2 * i + 1)
+                    yield from ep.wait(sreq)
+            return None
+        return prog
+
+    procs = [sim.process(player(0, 1)(sim)), sim.process(player(1, 0)(sim))]
+    sim.run(until=sim.all_of(procs))
+    fw.assert_quiescent()
+
+    m = cl.metrics
+    req_hist = m.hist("offload.req_latency")
+    return {
+        "iteration": iteration,
+        "seed": seed,
+        "sim_seconds": sim.now,
+        "counters": {
+            "completions": req_hist.count,
+            "retransmits": m.get("offload.retransmits"),
+            "fallbacks": m.get("offload.fallbacks"),
+            "oom_fallbacks": m.get("offload.oom_fallbacks"),
+        },
+        "fault_stats": dict(plan.stats),
+        "hists": {
+            "recovery_latency": m.hist("offload.recovery_latency").samples(),
+            "req_latency": req_hist.samples(),
+        },
+    }
+
+
+def _summarise(records: list[dict], failures: list[PointFailure],
+               args: argparse.Namespace, wall_s: float) -> dict:
+    """Fold per-iteration records into the SLO report document."""
+    recovery = Histogram()
+    req = Histogram()
+    counters: dict[str, float] = {}
+    fault_stats: dict[str, int] = {}
+    sim_seconds = 0.0
+    for rec in records:
+        recovery.merge(Histogram(rec["hists"]["recovery_latency"]))
+        req.merge(Histogram(rec["hists"]["req_latency"]))
+        for k, v in rec["counters"].items():
+            counters[k] = counters.get(k, 0) + v
+        for k, v in rec["fault_stats"].items():
+            fault_stats[k] = fault_stats.get(k, 0) + v
+        sim_seconds += rec["sim_seconds"]
+
+    completions = counters.get("completions", 0)
+    report = {
+        "schema": SOAK_SCHEMA,
+        "config": {
+            "iters": args.iters,
+            "scale": args.scale,
+            "seed": args.seed,
+            "drop_prob": args.drop,
+            "error_cqe_prob": args.error_cqe,
+            "retries": args.retries,
+        },
+        "iterations": {
+            "requested": args.iters,
+            "completed": len(records),
+            "quarantined": len(failures),
+        },
+        "slo": {
+            "recovery_latency": recovery.summary(),
+            "req_latency": req.summary(),
+            "fallback_rate": (counters.get("fallbacks", 0) / completions
+                              if completions else 0.0),
+            "retries_per_point": (counters.get("retransmits", 0) / completions
+                                  if completions else 0.0),
+        },
+        "counters": counters,
+        "fault_stats": fault_stats,
+        "sim_seconds": sim_seconds,
+        "quarantined": [f.to_dict() for f in failures],
+        "wall_seconds": round(wall_s, 1),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro soak", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--iters", type=int, default=10,
+                        help="chaos iterations (default 10)")
+    parser.add_argument("--scale", default="quick", choices=sorted(_SCALES))
+    parser.add_argument("--seed", type=int, default=7,
+                        help="root seed for per-iteration fault streams")
+    parser.add_argument("--drop", type=float, default=0.05,
+                        help="control-message drop probability (default 0.05)")
+    parser.add_argument("--error-cqe", type=float, default=0.02,
+                        help="data-op error-CQE probability (default 0.02)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="iteration worker processes")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retry budget per crashed iteration (default 1)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-iteration hang watchdog in seconds")
+    parser.add_argument("--out", default="results/soak", metavar="DIR",
+                        help="report + checkpoint journal directory "
+                             "(default results/soak); rerunning with the "
+                             "same DIR resumes completed iterations")
+    args = parser.parse_args(argv)
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    journal = Journal(out, label="soak")
+
+    points = [(i, args.scale, args.drop, args.error_cqe)
+              for i in range(args.iters)]
+    t0 = time.time()
+    outcomes = sweep_map(
+        soak_iteration, points, jobs=args.jobs, on_error="keep",
+        label="soak", seed_root=args.seed, seed_kwarg="seed",
+        retries=args.retries, point_timeout=args.timeout, journal=journal,
+    )
+    records = [o for o in outcomes if not isinstance(o, PointFailure)]
+    failures = [o for o in outcomes if isinstance(o, PointFailure)]
+
+    report = _summarise(records, failures, args, time.time() - t0)
+    report_path = out / "SLO.json"
+    atomic_write(report_path,
+                 json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    slo = report["slo"]
+    resumed = journal.hits
+    print(f"soak: {len(records)}/{args.iters} iterations completed"
+          + (f" ({resumed} resumed from journal)" if resumed else "")
+          + (f", {len(failures)} quarantined" if failures else ""))
+    rl = slo["recovery_latency"]
+    if rl.get("count"):
+        print(f"  recovery latency: n={rl['count']} "
+              f"p50={rl['p50']:.3e}s p95={rl['p95']:.3e}s p99={rl['p99']:.3e}s")
+    else:
+        print("  recovery latency: no recoveries observed")
+    print(f"  fallback rate: {slo['fallback_rate']:.4f}/req, "
+          f"retries: {slo['retries_per_point']:.4f}/req")
+    for f in failures:
+        print(f"  quarantined iteration {f.point[0]}: "
+              f"{f.error_type} after {f.attempts} attempts", file=sys.stderr)
+    if journal.corrupt:
+        for path, reason in journal.corrupt:
+            print(f"journal: ignored damaged record {path}: {reason}",
+                  file=sys.stderr)
+    print(f"wrote {report_path}")
+    return classify_campaign(len(records), len(failures), 0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,10 @@ class Histogram:
         return self
 
     # -- queries --------------------------------------------------------
+    def samples(self) -> list[float]:
+        """Copy of the raw samples (cross-process histogram merges)."""
+        return list(self._samples)
+
     def __len__(self) -> int:
         return len(self._samples)
 

@@ -531,6 +531,15 @@ class OffloadEndpoint:
             else:
                 yield from self._retransmit(req)
             timeout = min(timeout * pol.backoff, pol.max_timeout)
+        if attempts:
+            # Recovery latency: how long a request that needed at least
+            # one retransmit/fallback took from the first wait to its
+            # completion.  The soak harness's SLO report (p50/p95/p99)
+            # is built from this histogram; clean waits (attempts == 0)
+            # record nothing, so fault-free runs are unchanged.
+            self.ctx.cluster.metrics.observe(
+                "offload.recovery_latency", self.sim.now - start
+            )
 
     def _retransmit(self, req) -> None:
         self.ctx.cluster.metrics.add("offload.retransmits")

@@ -19,7 +19,6 @@ serialiser renames them to dense first-appearance indices (``r0``,
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
@@ -28,6 +27,7 @@ from tests.helpers import pattern
 from repro.hw import Cluster, ClusterSpec
 from repro.obs import observe_cluster
 from repro.offload import OffloadFramework
+from repro.util import atomic_write
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -142,9 +142,7 @@ def test_event_stream_matches_golden(name, regen_golden):
         GOLDEN_DIR.mkdir(exist_ok=True)
         # Atomic per-process write: safe under pytest-xdist, where
         # another worker may be reading the file for its own scenario.
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(got)
-        os.replace(tmp, path)
+        atomic_write(path, got)
         pytest.skip(f"regenerated {path.name} ({len(got.splitlines())} events)")
     assert path.exists(), (
         f"{path} missing -- run pytest with --regen-golden to create it"

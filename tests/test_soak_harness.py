@@ -1,0 +1,87 @@
+"""The ``python -m repro soak`` chaos-soak SLO harness.
+
+Acceptance (docs/RESILIENCE.md): under an injected FaultPlan the soak
+completes, checkpoints every iteration into the campaign journal, and
+emits a schema-stamped SLO report whose recovery-latency histogram is
+non-empty; rerunning against the same directory resumes from the
+journal and reproduces the report byte-for-byte (modulo wall clock).
+"""
+
+import json
+
+from repro.experiments import soak
+from repro.experiments.campaign import Journal
+
+
+def _run(tmp_path, *extra):
+    out = tmp_path / "soak"
+    rc = soak.main(["--iters", "3", "--out", str(out), *extra])
+    report = json.loads((out / "SLO.json").read_text())
+    return rc, out, report
+
+
+def _strip_wall(report: dict) -> dict:
+    report = dict(report)
+    report.pop("wall_seconds", None)
+    return report
+
+
+class TestSoakHarness:
+    def test_soak_emits_schema_stamped_slo_report(self, tmp_path):
+        rc, out, report = _run(tmp_path)
+        assert rc == 0
+        assert report["schema"] == soak.SOAK_SCHEMA
+        assert report["iterations"] == {
+            "requested": 3, "completed": 3, "quarantined": 0}
+        # The default fault plan injects control drops: recovery ran,
+        # and its latency histogram has real percentiles.
+        rl = report["slo"]["recovery_latency"]
+        assert rl["count"] > 0
+        assert 0 < rl["p50"] <= rl["p95"] <= rl["p99"]
+        assert report["slo"]["req_latency"]["count"] > 0
+        assert report["fault_stats"]["drops"] > 0
+        assert report["counters"]["retransmits"] > 0
+        assert report["slo"]["retries_per_point"] > 0
+
+    def test_fault_free_soak_observes_no_recoveries(self, tmp_path):
+        rc, out, report = _run(tmp_path, "--drop", "0", "--error-cqe", "0")
+        assert rc == 0
+        assert report["slo"]["recovery_latency"] == {"count": 0}
+        assert report["fault_stats"]["drops"] == 0
+        assert report["slo"]["req_latency"]["count"] > 0
+
+    def test_rerun_resumes_from_journal_and_reproduces_report(self, tmp_path):
+        rc1, out, first = _run(tmp_path)
+        assert rc1 == 0
+        j = Journal(out, label="soak")
+        assert len(j.keys()) == 3  # one checkpoint per iteration
+
+        rc2, _, second = _run(tmp_path)
+        assert rc2 == 0
+        assert _strip_wall(first) == _strip_wall(second)
+
+    def test_partial_journal_runs_only_missing_iterations(self, tmp_path):
+        rc1, out, _ = _run(tmp_path)
+        assert rc1 == 0
+        # Damage one checkpoint: the rerun must recompute exactly that
+        # iteration and converge on the same report.
+        j = Journal(out, label="soak")
+        victim = j.keys()[0]
+        (j.dir / f"{victim}.json").write_text("garbage")
+        rc2, _, report = _run(tmp_path)
+        assert rc2 == 0
+        assert report["iterations"]["completed"] == 3
+        assert Journal(out, label="soak").keys().count(victim) == 1
+
+    def test_iterations_are_seed_deterministic(self, tmp_path):
+        _, _, a = _run(tmp_path / "a")
+        _, _, b = _run(tmp_path / "b")
+        assert _strip_wall(a) == _strip_wall(b)
+        _, _, c = _run(tmp_path / "c", "--seed", "99")
+        assert _strip_wall(c) != _strip_wall(a)
+
+    def test_config_echoed_into_report(self, tmp_path):
+        _, _, report = _run(tmp_path, "--drop", "0.1", "--seed", "5")
+        assert report["config"]["drop_prob"] == 0.1
+        assert report["config"]["seed"] == 5
+        assert report["config"]["scale"] == "quick"
