@@ -9,7 +9,10 @@ Three hot paths are measured directly (no figure logic in the way):
 * **transfer throughput** -- end-to-end fabric transfers through the
   HCA port resources (request/grant/serialize/deliver/ack);
 * **cache hit path** -- covering-range registration-cache lookups (the
-  rendezvous fast path after warm-up).
+  rendezvous fast path after warm-up);
+* **flow throughput** -- a 256-rank bulk-transfer sweep on the fluid
+  hybrid engine versus the chunk-priced and message-level event
+  engines (docs/PERFORMANCE.md).
 
 ``collect_snapshot`` packages the results (plus optional per-figure
 wall-clock seconds) as a versioned JSON document with a commit stamp;
@@ -154,11 +157,62 @@ def bench_cache_hit_path(n: int = 50_000) -> dict:
             "n": n, "direction": "higher", "hits": cache.hits}
 
 
+def bench_flow_throughput(nodes: int = 256, window: int = 4,
+                          size: int = 1 << 20, chunk: int = 64 * 1024) -> dict:
+    """Flows/second of the fluid hybrid engine on a 256-rank bulk sweep.
+
+    Every rank streams a window of 1 MiB transfers (alternating
+    neighbor and bisection peers) through ``Fabric.transfer``.  The
+    same sweep runs on three engines:
+
+    * **fluid** -- transfers ride the rate-shared FlowEngine
+      (``ClusterSpec(fluid=True)``); reported as the headline value;
+    * **chunk-priced event engine** -- ``ClusterSpec(chunk_bytes=64
+      KiB)``, every 64 KiB chunk a discrete store-and-forward event
+      chain (the granularity psim's event mode pays, and the baseline
+      the >= 5x acceptance gate compares against);
+    * **message-level event engine** -- the default exact mode, one
+      event chain per message regardless of size (reported for
+      transparency: at message granularity the event engine is already
+      coarse, so fluid's win there is modest).
+    """
+    from repro.hw import Cluster, ClusterSpec
+
+    def run(**kw) -> float:
+        cl = Cluster(ClusterSpec(nodes=nodes, ppn=1, proxies_per_dpu=1, **kw))
+
+        def prog():
+            pending = []
+            for i in range(nodes):
+                for k in range(window):
+                    dst = (i + 1) % nodes if k % 2 == 0 else (i + nodes // 2) % nodes
+                    t = cl.fabric.transfer(src_node=i, dst_node=dst,
+                                           size=size, initiator="host")
+                    pending.append(t.completed)
+            yield cl.sim.all_of(pending)
+
+        cl.sim.process(prog())
+        t0 = time.perf_counter()
+        cl.sim.run()
+        return time.perf_counter() - t0
+
+    chunked = run(chunk_bytes=chunk)
+    message = run()
+    fluid = run(fluid=True)
+    total = nodes * window
+    return {"value": total / fluid, "unit": "flows/s",
+            "n": total, "direction": "higher",
+            "transfer_bytes": size, "chunk_bytes": chunk,
+            "speedup_vs_chunked_event": round(chunked / fluid, 2),
+            "speedup_vs_message_event": round(message / fluid, 2)}
+
+
 MICROBENCHES = {
     "event_throughput": bench_event_throughput,
     "process_throughput": bench_process_throughput,
     "xfer_throughput": bench_xfer_throughput,
     "cache_hit_path": bench_cache_hit_path,
+    "flow_throughput": bench_flow_throughput,
 }
 
 

@@ -280,7 +280,23 @@ def point_seeds(root_seed: int, label: str, n_points: int) -> list[int]:
 def _point_journal_key(journal, label: str, seed: int, point) -> str:
     from repro.experiments.campaign import point_key
 
-    return point_key(label, seed, point)
+    return point_key(label, seed, point, extra=_engine_extra())
+
+
+def _engine_extra():
+    """Engine-mode discriminator folded into journal content keys.
+
+    Fluid and exact runs of the same sweep point produce different
+    results, so their journal records must never collide -- otherwise a
+    ``--resume`` after flipping ``--fluid`` would serve stale tables
+    from the other engine.  Exact mode returns ``None`` so existing
+    (pre-fluid) journals keep resolving unchanged.
+    """
+    from repro.hw.fluid import default_fluid, default_fluid_threshold
+
+    if not default_fluid():
+        return None
+    return ("engine", "fluid", default_fluid_threshold())
 
 
 # ---------------------------------------------------------------------------

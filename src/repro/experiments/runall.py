@@ -22,6 +22,13 @@ Options:
                      silence window after a worker death before the
                      sweep declares lost points failed (default
                      $REPRO_STALL_TIMEOUT or 30; x4 under --scale paper)
+    --fluid          run every figure on the fluid-flow hybrid engine:
+                     bulk transfers above the byte threshold advance as
+                     rate-shared flows, control stays event-exact
+                     (docs/PERFORMANCE.md; tables approximate the exact
+                     engine within the documented tolerance)
+    --fluid-threshold BYTES
+                     bulk/control split for --fluid (default 65536)
     --out DIR        also write each table to DIR/figNN.txt plus a JSON
                      metrics snapshot (series + counters/histograms) to
                      DIR/figNN.json
@@ -71,6 +78,7 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.parallel import (
     PointFailure,
+    _engine_extra,
     in_worker,
     set_default_jobs,
     sweep_map,
@@ -187,9 +195,13 @@ def _group_key(group: list[str], scale: str) -> str:
     Matches the key ``sweep_map(label="figures", journal=...)`` derives
     for the point ``(tuple(group), scale)`` -- one keying scheme no
     matter which execution path (serial, inline, pool) produced the
-    record, so any path can resume any other's journal.
+    record, so any path can resume any other's journal.  The engine
+    mode rides in the ``extra`` slot: fluid and exact records of the
+    same group never collide, so resuming after flipping ``--fluid``
+    recomputes instead of serving the other engine's tables.
     """
-    return point_key("figures", None, (tuple(group), scale))
+    return point_key("figures", None, (tuple(group), scale),
+                     extra=_engine_extra())
 
 
 def _journal_safe(records: list[dict]) -> list[dict]:
@@ -384,6 +396,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker-death stall window in seconds "
                              "(default $REPRO_STALL_TIMEOUT or 30; "
                              "x4 under --scale paper)")
+    parser.add_argument("--fluid", action="store_true",
+                        help="run on the fluid-flow hybrid engine (bulk "
+                             "transfers as rate-shared flows; approximate)")
+    parser.add_argument("--fluid-threshold", type=int, default=None,
+                        metavar="BYTES",
+                        help="bulk/control byte split for --fluid "
+                             "(default 65536)")
     parser.add_argument("--out", default=None, help="directory for per-figure text tables")
     parser.add_argument("--bench", action="store_true",
                         help="also run engine microbenchmarks and write BENCH_engine.json")
@@ -414,6 +433,17 @@ def main(argv: list[str] | None = None) -> int:
     # Make the ambient default match the CLI choice so directly-invoked
     # helpers (ablations, figure modules) see the same setting.
     set_default_jobs(jobs)
+
+    if args.fluid or args.fluid_threshold is not None:
+        from repro.hw.fluid import set_default_fluid
+
+        # Ambient + environment, so spawned sweep workers inherit the
+        # engine choice (figure specs leave ClusterSpec.fluid = None).
+        set_default_fluid(bool(args.fluid), args.fluid_threshold)
+        if args.fluid:
+            print("engine: fluid-flow hybrid "
+                  f"(threshold {args.fluid_threshold or 65536} bytes)",
+                  file=sys.stderr)
 
     stall_timeout = args.stall_timeout
     if args.scale == "paper":

@@ -21,6 +21,14 @@ from repro.hw.faults import (
     ProxyKillPlan,
     RetryPolicy,
 )
+from repro.hw.fluid import (
+    DEFAULT_FLUID_THRESHOLD,
+    default_fluid,
+    default_fluid_threshold,
+    engine_mode,
+    set_default_fluid,
+    using_fluid,
+)
 from repro.hw.node import Node, ProcessContext
 from repro.hw.cluster import Cluster
 from repro.hw.metrics import Metrics
@@ -29,7 +37,11 @@ __all__ = [
     "AddressSpace",
     "Cluster",
     "ClusterSpec",
+    "DEFAULT_FLUID_THRESHOLD",
+    "default_fluid",
+    "default_fluid_threshold",
     "Delivery",
+    "engine_mode",
     "Fabric",
     "FaultPlan",
     "FaultSpec",
@@ -42,4 +54,6 @@ __all__ = [
     "ProcessContext",
     "ProxyKillPlan",
     "RetryPolicy",
+    "set_default_fluid",
+    "using_fluid",
 ]

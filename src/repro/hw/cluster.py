@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from repro.hw.fabric import Fabric
+from repro.hw.fluid import resolve_fluid
 from repro.hw.metrics import Metrics
 from repro.hw.node import Node, ProcessContext
 from repro.hw.params import ClusterSpec
-from repro.sim import RngRegistry, Simulator
+from repro.sim import FlowEngine, RngRegistry, Simulator
 
 __all__ = ["Cluster"]
 
@@ -46,6 +47,22 @@ class Cluster:
         self.nodes: list[Node] = [Node(self, n) for n in range(spec.nodes)]
         self.fabric = Fabric(self.sim, [n.hca for n in self.nodes], self.params,
                              spec=spec)
+
+        #: Hybrid engine selection (docs/PERFORMANCE.md): explicit
+        #: ``spec.fluid`` wins, ``None`` inherits the ambient default
+        #: (``runall --fluid`` / ``repro.hw.fluid.using_fluid``).  Exact
+        #: mode leaves ``fabric.flow_engine`` as None, so every existing
+        #: code path is untouched byte for byte.
+        self.fluid, self.fluid_threshold = resolve_fluid(spec)
+        if self.fluid:
+            engine = FlowEngine(self.sim, threshold=self.fluid_threshold)
+            self.sim.attach_flow_engine(engine)
+            self.fabric.attach_flow_engine(engine, self.fluid_threshold)
+        elif spec.chunk_bytes:
+            # Chunk-granularity event pricing (exact mode only: fluid
+            # routes the same bulk transfers through the FlowEngine
+            # instead of chunking them).
+            self.fabric.chunk_bytes = spec.chunk_bytes
 
         #: Flat list of host rank contexts, indexed by MPI rank.
         self.ranks: list[ProcessContext] = []

@@ -58,6 +58,11 @@ class Delivery:
     #: CQE status: "ok", or "error" when fault injection forced an error
     #: completion (no bytes moved; the initiator must re-post).
     status: str = "ok"
+    #: Which engine carried the bytes: "event" (exact store-and-forward
+    #: chunk FSM) or "flow" (fluid hybrid mode).  Lets consumers -- the
+    #: offload proxy's CQE accounting, the differential harness -- tell
+    #: flow-completed CQEs apart without changing any timing.
+    via: str = "event"
 
 
 @dataclass
@@ -153,6 +158,123 @@ class _TransferRun:
         self.completed.succeed(self._dv)
 
 
+class _ChunkedTransferRun:
+    """One fault-free transfer priced at chunk granularity.
+
+    The message is segmented into ``chunk_bytes`` pieces that pipeline
+    store-and-forward: each chunk arbitrates for the tx port,
+    serializes, crosses the wire, and re-serializes at the rx port as
+    its own discrete event chain, so concurrent bulk transfers
+    interleave chunk by chunk instead of message by message.  This is
+    the fidelity mode the fluid engine's coarse flow steps are
+    benchmarked against (``bench_flow_throughput`` -> BENCH_engine):
+    an n-chunk transfer costs O(n) heap events here versus O(1) on the
+    FlowEngine.  Opt-in via ``ClusterSpec.chunk_bytes``; off by
+    default, keeping the message-level FSM -- and every committed
+    figure table and golden trace -- bit-identical.
+    """
+
+    __slots__ = (
+        "fabric", "sim", "src_hca", "dst_hca", "chunk_ser", "last_ser",
+        "latency", "size", "kind", "meta", "src_node", "dst_node",
+        "on_deliver", "t_posted", "xid", "delivered", "completed",
+        "n_chunks", "_tx_i", "_rx_i", "_rx_done", "_tx_req", "_dv",
+    )
+
+    def __init__(self, fabric, src_hca, dst_hca, chunk_ser, last_ser,
+                 n_chunks, latency, size, kind, meta, src_node, dst_node,
+                 on_deliver, t_posted, xid, delivered, completed):
+        self.fabric = fabric
+        sim = self.sim = fabric.sim
+        self.src_hca = src_hca
+        self.dst_hca = dst_hca
+        self.chunk_ser = chunk_ser
+        self.last_ser = last_ser
+        self.n_chunks = n_chunks
+        self.latency = latency
+        self.size = size
+        self.kind = kind
+        self.meta = meta
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.on_deliver = on_deliver
+        self.t_posted = t_posted
+        self.xid = xid
+        self.delivered = delivered
+        self.completed = completed
+        self._tx_i = 0
+        self._rx_i = 0
+        self._rx_done = 0
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._start)
+        sim._schedule(init)
+
+    def _start(self, _ev):
+        req = self._tx_req = self.src_hca.tx.request()
+        req.callbacks.append(self._tx_granted)
+
+    def _tx_granted(self, _ev):
+        self._tx_i += 1
+        ser = self.last_ser if self._tx_i == self.n_chunks else self.chunk_ser
+        self.sim.timeout(ser).callbacks.append(self._tx_chunk_done)
+
+    def _tx_chunk_done(self, _ev):
+        self.src_hca.tx.release(self._tx_req)
+        self.sim.timeout(self.latency).callbacks.append(self._arrived)
+        if self._tx_i < self.n_chunks:
+            self._start(None)
+
+    def _arrived(self, _ev):
+        req = self.dst_hca.rx.request()
+        req.callbacks.append(self._rx_granted)
+
+    def _rx_granted(self, req):
+        # Chunks of one message reach the rx port in order (the tx port
+        # serializes them in order and the wire latency is constant), so
+        # a grant counter suffices to spot the short final chunk.
+        self._rx_i += 1
+        ser = self.last_ser if self._rx_i == self.n_chunks else self.chunk_ser
+        t = self.sim.timeout(ser)
+        t.callbacks.append(lambda _ev, req=req: self._rx_chunk_done(req))
+
+    def _rx_chunk_done(self, req):
+        self.dst_hca.rx.release(req)
+        self._rx_done += 1
+        if self._rx_done == self.n_chunks:
+            self._deliver()
+
+    def _deliver(self):
+        sim = self.sim
+        fabric = self.fabric
+        dv = self._dv = Delivery(
+            src_node=self.src_node, dst_node=self.dst_node, size=self.size,
+            kind=self.kind, meta=self.meta, time=sim.now, status="ok",
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(dv)
+        if fabric.tracer is not None:
+            fabric.tracer.record_arrow(
+                f"node{self.src_node}", f"node{self.dst_node}", self.size,
+                self.kind, self.t_posted, sim.now,
+            )
+        if fabric.bus is not None:
+            fabric.bus.emit("xfer", "deliver", f"node{self.dst_node}",
+                            xid=self.xid, status="ok")
+        self.src_hca.metrics.observe(
+            "fabric.xfer_latency." + self.kind, sim.now - self.t_posted
+        )
+        self.delivered.succeed(dv)
+        sim.timeout(fabric.params.ack_latency).callbacks.append(self._acked)
+
+    def _acked(self, _ev):
+        if self.fabric.bus is not None:
+            self.fabric.bus.emit("xfer", "complete", f"node{self.src_node}",
+                                 xid=self.xid, status="ok")
+        self.completed.succeed(self._dv)
+
+
 class _ControlRun:
     """One fault-free control message as a flat callback chain.
 
@@ -210,6 +332,39 @@ class _ControlRun:
         self.delivered.succeed(self.msg)
 
 
+class _FlowState:
+    """Protocol tail of one fluid transfer (what the FlowEngine doesn't know).
+
+    The engine only shares port time; the fabric keeps the message's
+    identity, its unshared tail (wire latency + rx re-serialization),
+    and the delivery/CQE events to fire.
+    """
+
+    __slots__ = (
+        "src_hca", "src_node", "dst_node", "size", "kind", "meta",
+        "on_deliver", "t_posted", "xid", "delivered", "completed",
+        "latency", "tail", "fid",
+    )
+
+    def __init__(self, src_hca, src_node, dst_node, size, kind, meta,
+                 on_deliver, t_posted, xid, delivered, completed,
+                 latency, tail):
+        self.src_hca = src_hca
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.size = size
+        self.kind = kind
+        self.meta = meta
+        self.on_deliver = on_deliver
+        self.t_posted = t_posted
+        self.xid = xid
+        self.delivered = delivered
+        self.completed = completed
+        self.latency = latency
+        self.tail = tail
+        self.fid = -1
+
+
 class Fabric:
     def __init__(self, sim: Simulator, hcas: list[Hca], params: MachineParams,
                  spec=None):
@@ -228,6 +383,17 @@ class Fabric:
         #: Optional :class:`~repro.hw.trace.Tracer`; set by
         #: ``Tracer.attach``.
         self.tracer = None
+        #: Optional :class:`~repro.sim.flows.FlowEngine` (fluid hybrid
+        #: mode); None keeps every transfer on the exact chunk FSM.
+        self.flow_engine = None
+        #: Byte threshold above which data transfers become flows when
+        #: a flow engine is attached.
+        self.fluid_threshold = 0
+        #: Chunk-granularity event pricing (exact mode): a positive
+        #: value segments data transfers larger than this into
+        #: chunk-sized store-and-forward event chains.  0 (default)
+        #: keeps message-level pricing bit-identical.
+        self.chunk_bytes = 0
         # Per-fabric ids tagging bus events so posts/deliveries/
         # completions of one message correlate (deterministic: assigned
         # in post order).
@@ -236,6 +402,12 @@ class Fabric:
         # (src, dst) -> one-way latency; the topology is static, so the
         # hop count never needs recomputing per message.
         self._lat_cache: dict[tuple[int, int], float] = {}
+
+    def attach_flow_engine(self, engine, threshold: int) -> None:
+        """Enable fluid hybrid mode: bulk transfers >= ``threshold`` bytes
+        become rate-shared flows; everything else stays event-exact."""
+        self.flow_engine = engine
+        self.fluid_threshold = threshold
 
     def one_way_latency(self, src_node: int, dst_node: int) -> float:
         lat = self._lat_cache.get((src_node, dst_node))
@@ -288,6 +460,40 @@ class Fabric:
         status, extra_delay = "ok", 0.0
         if plan is not None:
             status, extra_delay = plan.transfer_fate(kind, initiator, src_node, dst_node)
+
+        # Fluid hybrid mode: bulk data rides the rate-shared FlowEngine;
+        # control messages (Fabric.control) and sub-threshold transfers
+        # keep the exact chunk FSM.  Fault injection targets the chunk
+        # FSM's error/delay hooks, so an armed FaultPlan keeps everything
+        # event-exact too.
+        engine = self.flow_engine
+        if engine is not None and plan is None and size >= self.fluid_threshold:
+            self._flow_transfer(
+                engine, src_hca, src_node, dst_node, size, initiator,
+                src_mem, dst_mem, bw_scale, kind, meta, on_deliver,
+                t_posted, xid, delivered, completed,
+            )
+            return Transfer(delivered=delivered, completed=completed, size=size)
+
+        # Chunk-granularity pricing (exact mode only; fault injection
+        # keeps the message-level FSM so fate hooks stay 1:1 with
+        # messages).
+        chunk = self.chunk_bytes
+        if chunk and plan is None and size > chunk:
+            n_chunks = -(-size // chunk)
+            ser = src_hca.serialization_time(chunk, initiator, src_mem, dst_mem)
+            last = src_hca.serialization_time(
+                size - (n_chunks - 1) * chunk, initiator, src_mem, dst_mem
+            )
+            scale = max(1e-9, bw_scale)
+            src_hca.metrics.add("fabric.chunks", n_chunks)
+            _ChunkedTransferRun(
+                self, src_hca, dst_hca, ser / scale, last / scale, n_chunks,
+                self.one_way_latency(src_node, dst_node), size, kind, meta,
+                src_node, dst_node, on_deliver, t_posted, xid,
+                delivered, completed,
+            )
+            return Transfer(delivered=delivered, completed=completed, size=size)
 
         if plan is None and bus is None and self.tracer is None:
             _TransferRun(
@@ -349,6 +555,83 @@ class Fabric:
 
         self.sim.process(_run())
         return Transfer(delivered=delivered, completed=completed, size=size)
+
+    # -- fluid hybrid mode (docs/PERFORMANCE.md) -------------------------
+    def _flow_transfer(self, engine, src_hca, src_node, dst_node, size,
+                       initiator, src_mem, dst_mem, bw_scale, kind, meta,
+                       on_deliver, t_posted, xid, delivered, completed) -> None:
+        """Route one bulk transfer through the rate-shared FlowEngine.
+
+        The flow's *work* is the store-and-forward serialization window
+        in port-seconds; its drain marks the last byte leaving the
+        shared tx port.  The unshared protocol tail -- wire latency plus
+        the destination's re-serialization plus the hardware ack -- is
+        appended verbatim, so a solo flow lands on exactly the event
+        engine's timestamps (post + 2*serialization + latency [+ ack])
+        and n symmetric flows on one port pair drain in n*serialization,
+        matching the pipelined chunk FSM.
+        """
+        work = src_hca.serialization_time(
+            size, initiator, src_mem, dst_mem
+        ) / max(1e-9, bw_scale)
+        latency = self.one_way_latency(src_node, dst_node)
+        st = _FlowState(src_hca, src_node, dst_node, size, kind, meta,
+                        on_deliver, t_posted, xid, delivered, completed,
+                        latency, work)
+        flow = engine.add_flow(tx=("tx", src_node), rx=("rx", dst_node),
+                               work=work, finish=self._flow_drained, tag=st)
+        st.fid = flow.fid
+        src_hca.metrics.add("fabric.flows")
+        bus = self.bus
+        if bus is not None:
+            bus.emit("flow", "begin", f"flow{flow.fid}", fid=flow.fid,
+                     xid=xid, kind=kind, size=size, src=src_node,
+                     dst=dst_node)
+
+    def _flow_drained(self, flow, t_drain: float) -> None:
+        """FlowEngine finish callback: close the window, arm the tail."""
+        st = flow.tag
+        bus = self.bus
+        if bus is not None:
+            bus.emit("flow", "end", f"flow{flow.fid}", fid=flow.fid,
+                     xid=st.xid)
+        ev = self.sim.event()
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev, st=st: self._flow_deliver(st))
+        self.sim.schedule_at(ev, t_drain + st.latency + st.tail)
+
+    def _flow_deliver(self, st: _FlowState) -> None:
+        sim = self.sim
+        dv = Delivery(
+            src_node=st.src_node, dst_node=st.dst_node, size=st.size,
+            kind=st.kind, meta=st.meta, time=sim.now, status="ok",
+            via="flow",
+        )
+        if st.on_deliver is not None:
+            st.on_deliver(dv)
+        if self.tracer is not None:
+            self.tracer.record_arrow(
+                f"node{st.src_node}", f"node{st.dst_node}", st.size, st.kind,
+                st.t_posted, sim.now,
+            )
+        bus = self.bus
+        if bus is not None:
+            bus.emit("xfer", "deliver", f"node{st.dst_node}", xid=st.xid,
+                     status="ok", via="flow")
+        st.src_hca.metrics.observe(
+            f"fabric.xfer_latency.{st.kind}", sim.now - st.t_posted
+        )
+        st.delivered.succeed(dv)
+        ack = sim.timeout(self.params.ack_latency)
+        ack.callbacks.append(lambda _ev, st=st, dv=dv: self._flow_acked(st, dv))
+
+    def _flow_acked(self, st: _FlowState, dv: Delivery) -> None:
+        bus = self.bus
+        if bus is not None:
+            bus.emit("xfer", "complete", f"node{st.src_node}", xid=st.xid,
+                     status="ok", via="flow")
+        st.completed.succeed(dv)
 
     def control(
         self,

@@ -241,6 +241,27 @@ class ClusterSpec:
     #: topology; a positive value builds a two-level leaf/spine fabric
     #: where cross-leaf traffic pays two extra switch hops.
     nodes_per_switch: int = 0
+    #: Fluid-flow hybrid mode (docs/PERFORMANCE.md): ``True`` routes
+    #: bulk transfers above :attr:`fluid_threshold` into the rate-shared
+    #: :class:`~repro.sim.flows.FlowEngine`; ``False`` forces the exact
+    #: event engine.  ``None`` (default) inherits the ambient mode set
+    #: by ``repro.hw.fluid.set_default_fluid`` / ``runall --fluid`` --
+    #: which keeps every committed figure config byte-identical while
+    #: letting a whole campaign flip engines with one switch.
+    fluid: Optional[bool] = None
+    #: Byte threshold above which data transfers become flows in fluid
+    #: mode.  ``None`` inherits the ambient default (256 KiB -- see
+    #: ``repro.hw.fluid.DEFAULT_FLUID_THRESHOLD`` for the tuning
+    #: rationale).
+    fluid_threshold: Optional[int] = None
+    #: Chunk-granularity event pricing: a positive value segments every
+    #: data transfer larger than this many bytes into chunk-sized
+    #: store-and-forward events that arbitrate per chunk for the tx/rx
+    #: ports (the fidelity mode the fluid engine is benchmarked
+    #: against in BENCH_engine).  ``None``/0 (default) keeps the
+    #: message-level FSM -- and every committed table -- bit-identical.
+    #: Ignored for transfers riding the FlowEngine in fluid mode.
+    chunk_bytes: Optional[int] = None
     params: MachineParams = field(default_factory=MachineParams)
 
     def __post_init__(self) -> None:
@@ -252,6 +273,10 @@ class ClusterSpec:
             raise ValueError("need at least one proxy per DPU")
         if self.proxies_per_dpu > self.dpu_cores:
             raise ValueError("more proxies than DPU cores")
+        if self.fluid_threshold is not None and self.fluid_threshold < 1:
+            raise ValueError("fluid_threshold must be at least one byte")
+        if self.chunk_bytes is not None and self.chunk_bytes < 0:
+            raise ValueError("chunk_bytes must be non-negative")
 
     @property
     def world_size(self) -> int:

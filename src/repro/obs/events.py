@@ -23,6 +23,7 @@ sim        deadlock
 proc       start, end
 wqe        post
 xfer       post, deliver, complete
+flow       begin, end   (fluid hybrid mode bulk windows)
 ctrl       post, deliver, drop
 reg        mr, mkey, mkey2, revoke, stale_use
 cache      hit, miss, stale, evict   (args name the cache)
@@ -50,7 +51,7 @@ __all__ = ["ObsEvent", "EventBus", "CATEGORIES"]
 #: categories too (forward compatibility), but filters and docs speak
 #: this vocabulary.
 CATEGORIES = (
-    "sim", "proc", "wqe", "xfer", "ctrl", "reg", "cache",
+    "sim", "proc", "wqe", "xfer", "flow", "ctrl", "reg", "cache",
     "req", "group", "proxy", "mpi", "mem", "fault",
 )
 

@@ -27,6 +27,14 @@ itself, straight off the :class:`~repro.obs.events.EventBus` stream
    surviving live key may cover memory its owner has already freed.
    This is the teeth behind the epoch protocol in docs/RESOURCES.md: a
    stale key must fault (and be recovered), never silently move bytes.
+6. **Flow windows are opaque DMA** (fluid hybrid mode) -- every
+   ``flow.begin`` has a matching ``flow.end`` no earlier than it; the
+   flow's delivery (the ``xfer.deliver`` sharing its ``xid``) must not
+   precede the window's end; and no host-CPU or control-plane event may
+   occur inside the window -- neither on the flow's own lane
+   (``flow<fid>``) nor tagged with its ``fid``.  A flow models a pure
+   rate-shared DMA: any protocol work attributed to it mid-window means
+   the hybrid engine leaked event-exact work into the coarse model.
 
 :func:`trace_violations` returns the violations as pointed human
 messages; :func:`check_trace` raises :class:`TraceInvariantError`
@@ -170,6 +178,71 @@ def _check_offload_windows(bus, tracer, out: list[str], eps: float) -> None:
                 break
 
 
+def _check_flow_windows(bus, out: list[str]) -> None:
+    """Fluid bulk windows must be opaque: no CPU/control events inside."""
+    begins = {ev.arg("fid"): ev for ev in bus.select(cat="flow", name="begin")}
+    ends = {ev.arg("fid"): ev for ev in bus.select(cat="flow", name="end")}
+    if not begins and not ends:
+        return
+    for fid, end in ends.items():
+        if fid not in begins:
+            out.append(
+                f"flow fid={fid} ended at {_fmt_t(end.time)} without ever "
+                f"beginning -- the flow engine finished a flow it never admitted"
+            )
+    delivers = {ev.arg("xid"): ev for ev in bus.select(cat="xfer", name="deliver")}
+    for fid, begin in begins.items():
+        end = ends.get(fid)
+        if end is None:
+            out.append(
+                f"flow fid={fid} ({begin.arg('kind')}, {begin.arg('size')}B "
+                f"node{begin.arg('src')}->node{begin.arg('dst')}) began at "
+                f"{_fmt_t(begin.time)} but never ended -- its finisher was lost"
+            )
+            continue
+        if (end.time, end.seq) < (begin.time, begin.seq):
+            out.append(
+                f"flow fid={fid} ended at {_fmt_t(end.time)} before it began "
+                f"at {_fmt_t(begin.time)}"
+            )
+        dv = delivers.get(begin.arg("xid"))
+        if dv is not None and (dv.time, dv.seq) < (end.time, end.seq):
+            out.append(
+                f"flow fid={fid}'s delivery (xid={begin.arg('xid')}) fired at "
+                f"{_fmt_t(dv.time)}, inside its bulk window "
+                f"({_fmt_t(begin.time)}..{_fmt_t(end.time)}) -- the protocol "
+                f"tail must start only after the flow drains"
+            )
+    # Inside any open window, the flow's lane and its fid must stay
+    # silent: a flow is a pure DMA, so host-CPU ("proc") or control
+    # ("ctrl") events attributed to it mean event-exact work leaked into
+    # the coarse model.
+    for ev in bus.events:
+        if ev.cat == "flow":
+            continue
+        fids = set()
+        if ev.entity.startswith("flow"):
+            suffix = ev.entity[4:]
+            if suffix.isdigit():
+                fids.add(int(suffix))
+        fid_arg = ev.arg("fid")
+        if fid_arg is not None:
+            fids.add(fid_arg)
+        for fid in fids:
+            begin = begins.get(fid)
+            if begin is None or ev.seq < begin.seq:
+                continue
+            end = ends.get(fid)
+            if end is not None and ev.seq > end.seq:
+                continue
+            if ev.cat in ("proc", "ctrl", "wqe", "req", "group"):
+                out.append(
+                    f"{ev.cat}.{ev.name} ({ev.entity}) at {_fmt_t(ev.time)} "
+                    f"occurred inside flow fid={fid}'s bulk window -- no "
+                    f"host-CPU or control event may ride a fluid flow"
+                )
+
+
 def _check_plan_cache(bus, out: list[str], allow_replay_after_fault: bool) -> None:
     fault_times = [ev.time for ev in bus.select(cat="fault")]
     fault_times += [ev.time for ev in bus.select(cat="proxy", name="kill")]
@@ -225,6 +298,7 @@ def trace_violations(bus, tracer=None, *, keys=None, check_overlap: bool = True,
     _check_requests(bus, out)
     _check_transfers(bus, out)
     _check_control(bus, out)
+    _check_flow_windows(bus, out)
     _check_plan_cache(bus, out, allow_replay_after_fault)
     if keys is not None:
         _check_keytable(keys, out)

@@ -721,6 +721,10 @@ class OffloadEndpoint:
                 size=fb["size"],
             )
             dv = yield transfer.completed
+            if getattr(dv, "via", "event") == "flow":
+                # Fluid hybrid mode: this CQE was signaled from a flow
+                # drain, not the exact chunk FSM (never hit in exact mode).
+                self.ctx.cluster.metrics.add("offload.flow_cqes")
             if getattr(dv, "status", "ok") != "error":
                 break
             attempt += 1

@@ -381,6 +381,18 @@ class ProxyEngine:
         pair = {"rts": rts, "rtr": rtr}
         yield from self._post_pair_transfer(pair, attempt=1)
 
+    def _note_cqe(self, dv) -> None:
+        """Account which engine signaled a completed WQE.
+
+        In fluid hybrid mode a bulk transfer's CQE is fired from a flow
+        drain instead of the exact chunk FSM; counting those here lets
+        the differential harness confirm the proxy's completions really
+        rode the FlowEngine.  Exact runs never take the branch, so clean
+        metrics snapshots are untouched.
+        """
+        if getattr(dv, "via", "event") == "flow":
+            self.ctx.cluster.metrics.add("proxy.flow_cqes")
+
     def _post_pair_transfer(self, pair: dict, attempt: int) -> None:
         rts, rtr = pair["rts"], pair["rtr"]
         if self.mode == "staged":
@@ -424,6 +436,7 @@ class ProxyEngine:
             # observable trace, so the process form below is kept.
             def _watch_cb(ev):
                 dv = ev.value
+                self._note_cqe(dv)
                 if self.resilient and getattr(dv, "status", "ok") == "error":
                     backoff = self.sim.timeout(self.retry.rdma_backoff * attempt)
                     backoff.callbacks.append(
@@ -438,6 +451,7 @@ class ProxyEngine:
 
         def _watch():
             dv = yield done
+            self._note_cqe(dv)
             # Error CQE (fault injection): back off, then re-post through
             # the inbox so the retry stays ARM-serialized.  The staged
             # path retries its legs itself and completes with status ok.
@@ -518,6 +532,7 @@ class ProxyEngine:
         if self.ctx.cluster.bus is None:
             def _after_read_cb(ev):
                 dv = ev.value
+                self._note_cqe(dv)
                 if self.resilient and dv.status == "error":
                     backoff = self.sim.timeout(self.retry.rdma_backoff * attempt)
                     backoff.callbacks.append(
@@ -532,6 +547,7 @@ class ProxyEngine:
 
         def _after_read():
             dv = yield read.completed
+            self._note_cqe(dv)
             if self.resilient and dv.status == "error":
                 yield self.sim.timeout(self.retry.rdma_backoff * attempt)
                 self.ctx.inbox.put(("staged_read", st, attempt + 1, inc))
@@ -586,6 +602,7 @@ class ProxyEngine:
         if self.ctx.cluster.bus is None:
             def _after_write_cb(ev):
                 dv = ev.value
+                self._note_cqe(dv)
                 if self.resilient and dv.status == "error":
                     backoff = self.sim.timeout(self.retry.rdma_backoff * attempt)
                     backoff.callbacks.append(
@@ -601,6 +618,7 @@ class ProxyEngine:
 
         def _after_write():
             dv = yield write.completed
+            self._note_cqe(dv)
             if self.resilient and dv.status == "error":
                 yield self.sim.timeout(self.retry.rdma_backoff * attempt)
                 self.ctx.inbox.put(("staged_write", st, attempt + 1, inc))

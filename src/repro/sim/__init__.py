@@ -22,6 +22,7 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
+from repro.sim.flows import Flow, FlowEngine, fair_shares
 from repro.sim.process import Process
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry, spawn_seed
@@ -31,6 +32,9 @@ __all__ = [
     "AnyOf",
     "DeadlockError",
     "Event",
+    "fair_shares",
+    "Flow",
+    "FlowEngine",
     "Interrupt",
     "PriorityStore",
     "Process",

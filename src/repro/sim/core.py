@@ -283,6 +283,21 @@ class Simulator:
         #: outstanding waits.  Consulted only when a ``run(until=event)``
         #: goes dry, so registering probes costs nothing in the hot path.
         self.watchdog_probes: list[Callable[[], Iterable[str]]] = []
+        #: Optional :class:`~repro.sim.flows.FlowEngine` interleaving
+        #: coarse fluid-flow progress with this heap (hybrid mode).
+        #: ``None`` in exact mode; set via :meth:`attach_flow_engine`.
+        self.flow_engine = None
+
+    def attach_flow_engine(self, engine) -> None:
+        """Interleave a fluid :class:`~repro.sim.flows.FlowEngine`.
+
+        The engine schedules its own wake events on this heap (via
+        :meth:`schedule_at`), so flow progress and event-exact control
+        traffic advance on one clock.  Its probe joins the deadlock
+        watchdog so a hung run names in-flight flows.
+        """
+        self.flow_engine = engine
+        self.watchdog_probes.append(engine.probe)
 
     def _deadlock_reports(self) -> list[str]:
         reports: list[str] = []
@@ -358,6 +373,16 @@ class Simulator:
             raise SimulationError("cannot schedule into the past")
         event._scheduled = True
         heappush(self._heap, (when, next(self._seq), event))
+
+    def schedule_at(self, event: Event, when: float) -> None:
+        """Public absolute-time scheduling (see :meth:`_schedule_at`).
+
+        Used by the fluid :class:`~repro.sim.flows.FlowEngine`: predicted
+        flow drains and protocol tails are closed-form absolute floats,
+        and relative-delay re-rounding would drift off the event-exact
+        chain by an ulp.
+        """
+        self._schedule_at(event, when)
 
     def step(self) -> None:
         """Pop and process one event."""

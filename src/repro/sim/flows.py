@@ -1,0 +1,318 @@
+"""Fluid-flow engine for the hybrid simulation mode.
+
+The event engine prices every chunk of a large transfer as a discrete
+event, which caps simulated cluster size.  This module implements the
+coarse half of the hybrid: long transfers advance as *flows* that share
+port capacity max-min fairly (psim's ``make_progress_on_flows`` idiom),
+while everything else -- control messages, sub-threshold transfers,
+barrier traffic -- stays on the exact event engine.
+
+Model
+-----
+A flow's *work* is its store-and-forward serialization window measured
+in **port-seconds** (``serialization_time(size)/bw_scale``): one second
+of work consumes one second of exclusive port time.  Every flow pins two
+endpoints -- the source's tx port and the destination's rx port -- each
+with capacity 1.0 (a time-share, not a byte rate; folding path bandwidth
+into the work keeps DPU-memory-capped flows from overstating aggregate
+throughput on a faster wire).  Rates are the max-min fair (water-filling)
+allocation over those endpoints, each flow additionally capped at 1.0
+(a single message cannot use more than the whole port).
+
+The engine integrates ``remaining -= rate * dt`` lazily: it wakes only
+at the earliest predicted flow completion, or after the set of flows
+changes.  Set changes within one simulated instant are batched -- every
+``add_flow`` marks the engine dirty and schedules a single zero-delay
+kick, so an n-flow burst costs one vectorized recompute, not n.
+
+The engine is protocol-agnostic: it signals a flow's *drain* (its last
+byte leaving the shared ports) to a caller-supplied ``finish`` callback
+and never touches deliveries, CQEs or the bus itself.  The fabric owns
+that protocol tail (wire latency + rx re-serialization + ack), which is
+what makes a solo fluid flow land on the exact same timestamps as the
+event engine's store-and-forward chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.sim.core import Simulator
+
+__all__ = ["Flow", "FlowEngine", "fair_shares"]
+
+#: Slack used when freezing a constraint during water-filling.
+_TINY = 1e-12
+
+
+def fair_shares(tx, rx, caps, n_endpoints: int) -> np.ndarray:
+    """Max-min fair time-shares for flows over unit-capacity endpoints.
+
+    ``tx``/``rx`` are dense endpoint ids per flow (a flow loads both);
+    ``caps`` is the per-flow rate ceiling.  Water-filling: raise every
+    unfrozen flow's rate uniformly until a constraint binds (an endpoint
+    exhausts its capacity or a flow hits its cap), freeze the bound
+    flows, repeat.  Each round freezes at least one flow, so the loop is
+    O(n) rounds worst case and O(active endpoints) in practice.
+
+    Pure and deterministic -- exposed for the Hypothesis property tests.
+    """
+    tx = np.asarray(tx, dtype=np.intp)
+    rx = np.asarray(rx, dtype=np.intp)
+    caps = np.asarray(caps, dtype=np.float64)
+    n = tx.shape[0]
+    share = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return share
+    cap_left = np.ones(n_endpoints, dtype=np.float64)
+    active = np.ones(n, dtype=bool)
+    while active.any():
+        load = (
+            np.bincount(tx[active], minlength=n_endpoints)
+            + np.bincount(rx[active], minlength=n_endpoints)
+        ).astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            head = np.where(load > 0.0, cap_left / np.maximum(load, 1.0), np.inf)
+        inc = np.minimum(head[tx], head[rx])
+        np.minimum(inc, caps - share, out=inc)
+        delta = float(inc[active].min())
+        if delta > 0.0 and np.isfinite(delta):
+            share[active] += delta
+            cap_left -= delta * load
+            np.maximum(cap_left, 0.0, out=cap_left)
+        newly = active & (
+            (caps - share <= _TINY)
+            | (cap_left[tx] <= _TINY)
+            | (cap_left[rx] <= _TINY)
+        )
+        if not newly.any():
+            # No constraint binds (degenerate input, e.g. zero caps):
+            # freeze everything at the current level to guarantee
+            # termination.
+            newly = active.copy()
+        active &= ~newly
+    return share
+
+
+class Flow:
+    """One rate-shared bulk transfer tracked by the :class:`FlowEngine`."""
+
+    __slots__ = ("fid", "tx", "rx", "work", "cap", "rate", "remaining",
+                 "finish", "tag", "t_start", "t_drain")
+
+    def __init__(self, fid: int, tx: int, rx: int, work: float, cap: float,
+                 finish: Callable[["Flow", float], None], tag: Any,
+                 t_start: float):
+        self.fid = fid
+        self.tx = tx
+        self.rx = rx
+        self.work = work
+        self.cap = cap
+        #: Current max-min rate (port time-share); updated per recompute.
+        self.rate = 0.0
+        self.remaining = work
+        self.finish = finish
+        self.tag = tag
+        self.t_start = t_start
+        self.t_drain: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Flow {self.fid} work={self.work:.3e} "
+                f"remaining={self.remaining:.3e} rate={self.rate:.3f}>")
+
+
+class FlowEngine:
+    """Rate-shared flow progression interleaved with the event heap.
+
+    The engine keeps at most one pending *wake* event on the simulator
+    heap, scheduled at the earliest predicted flow drain; a generation
+    counter invalidates superseded wakes (they pop as no-ops).  Flow-set
+    changes within one instant batch into a single zero-delay *kick*.
+    """
+
+    def __init__(self, sim: Simulator, threshold: int = 0):
+        self.sim = sim
+        #: Byte threshold above which the fabric routes transfers here
+        #: (stored on the engine purely for diagnostics/probes).
+        self.threshold = threshold
+        self._active: list[Flow] = []
+        self._pending: list[Flow] = []
+        # Arrays aligned with _active between recomputes; remaining work
+        # is authoritative in _rem (Flow.remaining is synced lazily).
+        self._rem = np.empty(0, dtype=np.float64)
+        self._share = np.empty(0, dtype=np.float64)
+        self._eps = np.empty(0, dtype=np.float64)
+        self._endpoints: dict[Any, int] = {}
+        self._next_fid = 0
+        self._last_t = 0.0
+        self._wake_gen = 0
+        self._kick_scheduled = False
+        # Diagnostics.
+        self.flows_started = 0
+        self.flows_finished = 0
+        self.recomputes = 0
+        self.wakes = 0
+
+    # -- public API ------------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        return len(self._active) + len(self._pending)
+
+    def endpoint(self, key: Any) -> int:
+        """Dense id for an endpoint key (e.g. ``("tx", node)``)."""
+        eid = self._endpoints.get(key)
+        if eid is None:
+            eid = len(self._endpoints)
+            self._endpoints[key] = eid
+        return eid
+
+    def add_flow(self, *, tx: Any, rx: Any, work: float,
+                 finish: Callable[[Flow, float], None],
+                 cap: float = 1.0, tag: Any = None) -> Flow:
+        """Admit a flow; ``finish(flow, t)`` fires when its work drains.
+
+        ``tx``/``rx`` are endpoint keys (mapped to dense ids), ``work``
+        is in port-seconds, ``cap`` the flow's own rate ceiling.  The
+        finish callback runs during event processing at the drain
+        instant; it may add new flows (they batch into the same instant's
+        recompute).
+        """
+        if work <= 0.0:
+            raise ValueError(f"flow work must be positive, got {work!r}")
+        flow = Flow(self._next_fid, self.endpoint(tx), self.endpoint(rx),
+                    float(work), float(cap), finish, tag, self.sim.now)
+        self._next_fid += 1
+        self.flows_started += 1
+        self._pending.append(flow)
+        self._schedule_kick()
+        return flow
+
+    def probe(self) -> Iterable[str]:
+        """Watchdog lines describing in-flight flows (deadlock reports)."""
+        n = self.active_count
+        if n == 0:
+            return []
+        self._sync_remaining()
+        oldest = min(self._active + self._pending, key=lambda f: f.fid)
+        return [
+            f"flow engine: {n} active flow(s); oldest fid={oldest.fid} "
+            f"remaining={oldest.remaining:.3e} port-s rate={oldest.rate:.3f}"
+        ]
+
+    # -- internals -------------------------------------------------------
+    def _schedule_kick(self) -> None:
+        if self._kick_scheduled:
+            return
+        self._kick_scheduled = True
+        ev = self.sim.event()
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(self._on_kick)
+        self.sim._schedule(ev)
+
+    def _on_kick(self, _ev) -> None:
+        self._kick_scheduled = False
+        self._sync()
+
+    def _on_wake(self, gen: int) -> None:
+        if gen != self._wake_gen:
+            return  # superseded by a set change since it was scheduled
+        self.wakes += 1
+        self._sync()
+
+    def _sync(self) -> None:
+        """Settle progress to now, finish drained flows, reshare, rearm."""
+        now = self.sim.now
+        dt = now - self._last_t
+        if dt > 0.0 and len(self._active):
+            self._rem -= dt * self._share
+        self._last_t = now
+        self._finish_due(now)
+        if self._pending:
+            self._active.extend(self._pending)
+            self._pending.clear()
+            self._recompute()
+        self._arm_wake(now)
+
+    def _finish_due(self, now: float) -> None:
+        act = self._active
+        if not act:
+            return
+        rem = self._rem
+        # A flow is drained when its residual work is below its absolute
+        # epsilon OR its residual drain time is immeasurably small
+        # relative to the clock (absorbs float residue from the
+        # predicted-wake subtraction, keeping the wake loop convergent).
+        time_eps = 1e-12 * max(now, 1e-9)
+        done = (rem <= self._eps) | (rem <= time_eps * self._share)
+        if not done.any():
+            return
+        idx = np.nonzero(done)[0]
+        finished = [act[i] for i in idx]  # ascending index == fid order
+        keep = ~done
+        self._active = [f for f, k in zip(act, keep) if k]
+        self._rem = rem[keep]
+        self._share = self._share[keep]
+        self._eps = self._eps[keep]
+        if self._active:
+            self._recompute()
+        else:
+            self.recomputes += 1
+        for f in finished:
+            f.remaining = 0.0
+            f.t_drain = now
+            self.flows_finished += 1
+            f.finish(f, now)
+
+    def _recompute(self) -> None:
+        act = self._active
+        n = len(act)
+        self.recomputes += 1
+        if n == 0:
+            return
+        tx = np.fromiter((f.tx for f in act), dtype=np.intp, count=n)
+        rx = np.fromiter((f.rx for f in act), dtype=np.intp, count=n)
+        caps = np.fromiter((f.cap for f in act), dtype=np.float64, count=n)
+        rem = np.fromiter((f.remaining for f in act), dtype=np.float64, count=n)
+        # _rem is authoritative for flows that were already active; the
+        # fromiter above only seeds newly admitted flows, so overwrite
+        # the prefix... both sources agree only after _sync_remaining().
+        if len(self._rem) and len(self._rem) <= n:
+            rem[: len(self._rem)] = self._rem
+        self._rem = rem
+        self._share = fair_shares(tx, rx, caps, len(self._endpoints))
+        self._eps = np.fromiter(
+            (1e-9 * f.work + 1e-18 for f in act), dtype=np.float64, count=n
+        )
+        for f, r in zip(act, self._share):
+            f.rate = float(r)
+
+    def _arm_wake(self, now: float) -> None:
+        self._wake_gen += 1
+        if not self._active:
+            return
+        share = self._share
+        with np.errstate(divide="ignore", invalid="ignore"):
+            horizon = np.where(share > 0.0, self._rem / np.maximum(share, _TINY),
+                               np.inf)
+        t_next = now + float(horizon.min())
+        if not np.isfinite(t_next):
+            return  # all shares zero (degenerate caps): nothing will drain
+        if t_next <= now:
+            # Float residue predicted a drain "now" that _finish_due did
+            # not take; nudge forward one representable instant so the
+            # wake strictly advances and the residue is absorbed.
+            t_next = float(np.nextafter(now, np.inf))
+        gen = self._wake_gen
+        ev = self.sim.event()
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: self._on_wake(gen))
+        self.sim.schedule_at(ev, t_next)
+
+    def _sync_remaining(self) -> None:
+        """Copy authoritative array state back onto Flow.remaining."""
+        for f, r in zip(self._active, self._rem):
+            f.remaining = float(r)
