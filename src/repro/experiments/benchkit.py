@@ -175,11 +175,20 @@ def bench_flow_throughput(nodes: int = 256, window: int = 4,
       event chain per message regardless of size (reported for
       transparency: at message granularity the event engine is already
       coarse, so fluid's win there is modest).
-    """
-    from repro.hw import Cluster, ClusterSpec
 
-    def run(**kw) -> float:
+    A fourth run repeats the fluid sweep under a seeded 1% fault plan
+    (error CQEs + flow drop/retransmit fates) and reports
+    ``faulty_value``/``faulty_slowdown``: the flow fault path must cost
+    at most a small constant factor over fault-free fluid, never
+    degenerate toward event-engine cost.
+    """
+    from repro.hw import Cluster, ClusterSpec, FaultPlan, FaultSpec
+
+    def run(faults=False, **kw) -> float:
         cl = Cluster(ClusterSpec(nodes=nodes, ppn=1, proxies_per_dpu=1, **kw))
+        if faults:
+            cl.install_faults(FaultPlan(
+                FaultSpec(error_cqe_prob=0.01, flow_drop_prob=0.01), seed=7))
 
         def prog():
             pending = []
@@ -199,12 +208,15 @@ def bench_flow_throughput(nodes: int = 256, window: int = 4,
     chunked = run(chunk_bytes=chunk)
     message = run()
     fluid = run(fluid=True)
+    faulty = run(faults=True, fluid=True)
     total = nodes * window
     return {"value": total / fluid, "unit": "flows/s",
             "n": total, "direction": "higher",
             "transfer_bytes": size, "chunk_bytes": chunk,
             "speedup_vs_chunked_event": round(chunked / fluid, 2),
-            "speedup_vs_message_event": round(message / fluid, 2)}
+            "speedup_vs_message_event": round(message / fluid, 2),
+            "faulty_value": round(total / faulty, 1),
+            "faulty_slowdown": round(faulty / fluid, 2)}
 
 
 MICROBENCHES = {

@@ -1,10 +1,17 @@
 """Chaos-soak SLO harness: ``python -m repro soak``.
 
 Runs the offload stack's core exchange workload in a loop, each
-iteration on a fresh small cluster under a *seeded* :class:`FaultPlan`
+iteration on a fresh cluster under a *seeded* :class:`FaultPlan`
 (control-message drops + error CQEs on the offload control kinds) and a
 DPU memory budget, and distils the recovery behaviour into a
-schema-stamped SLO report:
+schema-stamped SLO report.  The workload is a ring exchange -- every
+rank posts a receive from its left neighbour, sends to its right, and
+waits on both -- so the harness scales from the default 2-rank
+ping-pong shape to paper-scale topologies via ``--nodes``, ``--ppn``
+and ``--proxies``.  With ``--fluid`` the same iterations run on the
+fluid-flow hybrid engine with the threshold pinned at the message size,
+so every exchange rides the FlowEngine and (with ``--flow-drop``)
+exercises the flow-path fault fates.  SLO columns:
 
 * ``recovery_latency`` -- p50/p95/p99 of simulated seconds from a
   request's first post to completion *for requests that needed at least
@@ -60,70 +67,89 @@ _DPU_BUDGET = 1 << 20
 
 
 def soak_iteration(iteration: int, scale: str, drop: float,
-                   error_cqe: float, *, seed: int) -> dict:
-    """One chaos iteration: fresh cluster, seeded faults, full exchange.
+                   error_cqe: float, nodes: int = 2, ppn: int = 1,
+                   proxies: int = 1, fluid: bool = False,
+                   flow_drop: float = 0.0, *, seed: int) -> dict:
+    """One chaos iteration: fresh cluster, seeded faults, ring exchange.
+
+    Every rank posts a receive from its left neighbour and a send to its
+    right each round, then waits on both -- deadlock-free at any world
+    size because all receives are pre-posted.  With ``fluid`` the
+    cluster runs the hybrid engine with ``fluid_threshold`` pinned at
+    the message size, so each exchange is a FlowEngine flow and
+    ``flow_drop`` injects flow-path drop/retransmit fates.
 
     Returns a picklable record of the iteration's counters, fault-plan
     statistics, and raw latency samples (merged across iterations by
-    :func:`main` into the SLO report).
+    :func:`main` into the SLO report).  The full argument tuple is the
+    journal content key: changing topology or engine knobs never
+    collides with a prior campaign's checkpoints.
     """
     from repro.offload import OffloadFramework
 
     iters, size = _SCALES[scale]
     params = MachineParams().with_overrides(dpu_mem_budget=_DPU_BUDGET)
-    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1,
-                             seed=seed, params=params))
+    spec = ClusterSpec(nodes=nodes, ppn=ppn, proxies_per_dpu=proxies,
+                       seed=seed, params=params,
+                       fluid=True if fluid else None,
+                       fluid_threshold=size if fluid else None)
+    cl = Cluster(spec)
     # The SLO metrics are latencies and counters; skip moving payload
     # bytes (correctness-under-faults is the fault test suite's job).
     cl.payloads = False
     plan = FaultPlan(
         FaultSpec(drop_prob=drop, error_cqe_prob=error_cqe,
+                  flow_drop_prob=flow_drop if fluid else 0.0,
                   control_kinds=OFFLOAD_CONTROL_KINDS),
         seed=seed,
     )
     cl.install_faults(plan)  # implies the resilient RetryPolicy
     fw = OffloadFramework(cl)
     sim = cl.sim
+    world = spec.world_size
 
-    def player(rank: int, peer: int):
+    def player(rank: int):
+        left = (rank - 1) % world
+        right = (rank + 1) % world
+
         def prog(sim):
             ep = fw.endpoint(rank)
             sbuf = ep.ctx.space.alloc(size)
             rbuf = ep.ctx.space.alloc(size)
             for i in range(iters):
-                if rank == 0:
-                    sreq = yield from ep.send_offload(sbuf, size, dst=peer,
-                                                      tag=2 * i)
-                    yield from ep.wait(sreq)
-                    rreq = yield from ep.recv_offload(rbuf, size, src=peer,
-                                                      tag=2 * i + 1)
-                    yield from ep.wait(rreq)
-                else:
-                    rreq = yield from ep.recv_offload(rbuf, size, src=peer,
-                                                      tag=2 * i)
-                    yield from ep.wait(rreq)
-                    sreq = yield from ep.send_offload(sbuf, size, dst=peer,
-                                                      tag=2 * i + 1)
-                    yield from ep.wait(sreq)
+                rreq = yield from ep.recv_offload(rbuf, size, src=left,
+                                                  tag=i)
+                sreq = yield from ep.send_offload(sbuf, size, dst=right,
+                                                  tag=i)
+                yield from ep.wait(rreq)
+                yield from ep.wait(sreq)
             return None
         return prog
 
-    procs = [sim.process(player(0, 1)(sim)), sim.process(player(1, 0)(sim))]
+    procs = [sim.process(player(r)(sim)) for r in range(world)]
     sim.run(until=sim.all_of(procs))
     fw.assert_quiescent()
 
     m = cl.metrics
     req_hist = m.hist("offload.req_latency")
+    counters = {
+        "completions": req_hist.count,
+        "retransmits": m.get("offload.retransmits"),
+        "fallbacks": m.get("offload.fallbacks"),
+        "oom_fallbacks": m.get("offload.oom_fallbacks"),
+    }
+    if fluid:
+        counters.update({
+            "flows": m.get("fabric.flows"),
+            "flow_drops": m.get("fabric.flow_drops"),
+            "flow_retries": m.get("fabric.flow_retries"),
+            "flow_cqes": m.get("proxy.flow_cqes"),
+        })
     return {
         "iteration": iteration,
         "seed": seed,
         "sim_seconds": sim.now,
-        "counters": {
-            "completions": req_hist.count,
-            "retransmits": m.get("offload.retransmits"),
-            "fallbacks": m.get("offload.fallbacks"),
-            "oom_fallbacks": m.get("offload.oom_fallbacks"),
-        },
+        "counters": counters,
         "fault_stats": dict(plan.stats),
         "hists": {
             "recovery_latency": m.hist("offload.recovery_latency").samples(),
@@ -159,6 +185,11 @@ def _summarise(records: list[dict], failures: list[PointFailure],
             "drop_prob": args.drop,
             "error_cqe_prob": args.error_cqe,
             "retries": args.retries,
+            "nodes": args.nodes,
+            "ppn": args.ppn,
+            "proxies": args.proxies,
+            "fluid": bool(args.fluid),
+            "flow_drop_prob": args.flow_drop if args.fluid else 0.0,
         },
         "iterations": {
             "requested": args.iters,
@@ -195,6 +226,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="control-message drop probability (default 0.05)")
     parser.add_argument("--error-cqe", type=float, default=0.02,
                         help="data-op error-CQE probability (default 0.02)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="cluster nodes per iteration (default 2)")
+    parser.add_argument("--ppn", type=int, default=1,
+                        help="host ranks per node (default 1)")
+    parser.add_argument("--proxies", type=int, default=1,
+                        help="proxy workers per DPU (default 1)")
+    parser.add_argument("--fluid", action="store_true",
+                        help="run on the fluid-flow hybrid engine with the "
+                             "threshold pinned at the message size, so every "
+                             "exchange rides the FlowEngine")
+    parser.add_argument("--flow-drop", type=float, default=0.05,
+                        help="flow drop/retransmit probability, fluid mode "
+                             "only (default 0.05)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="iteration worker processes")
     parser.add_argument("--retries", type=int, default=1,
@@ -211,7 +255,9 @@ def main(argv: list[str] | None = None) -> int:
     out.mkdir(parents=True, exist_ok=True)
     journal = Journal(out, label="soak")
 
-    points = [(i, args.scale, args.drop, args.error_cqe)
+    points = [(i, args.scale, args.drop, args.error_cqe, args.nodes,
+               args.ppn, args.proxies, bool(args.fluid),
+               args.flow_drop if args.fluid else 0.0)
               for i in range(args.iters)]
     t0 = time.time()
     outcomes = sweep_map(

@@ -18,6 +18,8 @@ from repro.hw.faults import (
     OFFLOAD_CONTROL_KINDS,
     FaultPlan,
     FaultSpec,
+    LinkDegradePlan,
+    LinkWindow,
     ProxyKillPlan,
     RetryPolicy,
 )
@@ -46,6 +48,8 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "Hca",
+    "LinkDegradePlan",
+    "LinkWindow",
     "MachineParams",
     "Metrics",
     "Node",

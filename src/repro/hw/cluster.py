@@ -30,6 +30,9 @@ class Cluster:
         #: Optional :class:`~repro.hw.faults.FaultPlan` (chaos testing);
         #: installed via :meth:`install_faults`, None for clean runs.
         self.fault_plan = None
+        #: Optional :class:`~repro.hw.faults.LinkDegradePlan` (fluid
+        #: mode only); installed via :meth:`install_link_degrade`.
+        self.link_plan = None
         #: Optional :class:`~repro.obs.events.EventBus`; set by
         #: ``EventBus.attach`` (or ``repro.obs.observe_cluster``).
         self.bus = None
@@ -98,6 +101,20 @@ class Cluster:
         self.fabric.fault_plan = self.fault_plan
         if self.bus is not None:
             self.fault_plan.bus = self.bus
+        return self
+
+    def install_link_degrade(self, plan) -> "Cluster":
+        """Attach a :class:`~repro.hw.faults.LinkDegradePlan`.
+
+        Requires fluid mode (the plan drives the FlowEngine's endpoint
+        capacities); binding samples any seeded windows and schedules
+        every degrade/restore edge on the simulator heap.  Install
+        before traffic flows, and after ``EventBus.attach`` if the
+        ``link.*`` events should be observed.
+        """
+        if self.bus is not None:
+            plan.bus = self.bus
+        self.link_plan = plan.bind(self)
         return self
 
     # -- lookups -----------------------------------------------------------

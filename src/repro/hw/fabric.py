@@ -343,7 +343,8 @@ class _FlowState:
     __slots__ = (
         "src_hca", "src_node", "dst_node", "size", "kind", "meta",
         "on_deliver", "t_posted", "xid", "delivered", "completed",
-        "latency", "tail", "fid",
+        "latency", "tail", "fid", "status", "extra_delay", "attempt",
+        "drop_remaining", "owner",
     )
 
     def __init__(self, src_hca, src_node, dst_node, size, kind, meta,
@@ -363,6 +364,19 @@ class _FlowState:
         self.latency = latency
         self.tail = tail
         self.fid = -1
+        #: CQE status decided at post time (fault injection); "error"
+        #: completes the op without moving bytes, like the event path.
+        self.status = "ok"
+        #: Extra in-flight delay (fault injection) appended to the tail.
+        self.extra_delay = 0.0
+        #: Transmission attempt, 1-based; bumped per flow-drop retransmit.
+        self.attempt = 1
+        #: Port-seconds still to send after a mid-flight drop (None when
+        #: the current flow carries the message to completion).
+        self.drop_remaining = None
+        #: Opaque owner handle (the posting ProcessContext); lets a
+        #: proxy kill abort the flows it had in flight.
+        self.owner = None
 
 
 class Fabric:
@@ -433,6 +447,7 @@ class Fabric:
         meta: Any = None,
         kind: str = "data",
         bw_scale: float = 1.0,
+        owner: Any = None,
     ) -> Transfer:
         """Start a one-sided data movement; post overhead is the caller's.
 
@@ -463,22 +478,32 @@ class Fabric:
 
         # Fluid hybrid mode: bulk data rides the rate-shared FlowEngine;
         # control messages (Fabric.control) and sub-threshold transfers
-        # keep the exact chunk FSM.  Fault injection targets the chunk
-        # FSM's error/delay hooks, so an armed FaultPlan keeps everything
-        # event-exact too.
+        # keep the exact chunk FSM.  An armed FaultPlan composes with the
+        # flow path: the transfer_fate decided above (error CQE / extra
+        # delay, drawn from the shared "faults" stream at the same point
+        # as the event path) rides the flow's protocol tail, and per-flow
+        # drop fates come from the plan's independent flow stream.
         engine = self.flow_engine
-        if engine is not None and plan is None and size >= self.fluid_threshold:
+        if engine is not None and size >= self.fluid_threshold:
             self._flow_transfer(
                 engine, src_hca, src_node, dst_node, size, initiator,
                 src_mem, dst_mem, bw_scale, kind, meta, on_deliver,
                 t_posted, xid, delivered, completed,
+                status=status, extra_delay=extra_delay, owner=owner,
             )
             return Transfer(delivered=delivered, completed=completed, size=size)
 
         # Chunk-granularity pricing (exact mode only; fault injection
         # keeps the message-level FSM so fate hooks stay 1:1 with
-        # messages).
+        # messages -- announced loudly, a silent engine switch is how
+        # robustness gaps hide).
         chunk = self.chunk_bytes
+        if chunk and plan is not None and size > chunk:
+            src_hca.metrics.add("fabric.fluid_disabled")
+            if bus is not None:
+                bus.emit("fluid", "disabled", f"node{src_node}", xid=xid,
+                         kind=kind, size=size, mode="chunk",
+                         reason="fault_plan")
         if chunk and plan is None and size > chunk:
             n_chunks = -(-size // chunk)
             ser = src_hca.serialization_time(chunk, initiator, src_mem, dst_mem)
@@ -559,7 +584,9 @@ class Fabric:
     # -- fluid hybrid mode (docs/PERFORMANCE.md) -------------------------
     def _flow_transfer(self, engine, src_hca, src_node, dst_node, size,
                        initiator, src_mem, dst_mem, bw_scale, kind, meta,
-                       on_deliver, t_posted, xid, delivered, completed) -> None:
+                       on_deliver, t_posted, xid, delivered, completed,
+                       status: str = "ok", extra_delay: float = 0.0,
+                       owner: Any = None) -> None:
         """Route one bulk transfer through the rate-shared FlowEngine.
 
         The flow's *work* is the store-and-forward serialization window
@@ -570,6 +597,15 @@ class Fabric:
         engine's timestamps (post + 2*serialization + latency [+ ack])
         and n symmetric flows on one port pair drain in n*serialization,
         matching the pipelined chunk FSM.
+
+        Fault composition: ``status``/``extra_delay`` are the post-time
+        ``transfer_fate`` (an error CQE still occupies the ports for the
+        full window, exactly like the event path; extra delay stretches
+        the in-flight tail).  Mid-flight *drops* are flow-native fates
+        drawn per admission from the plan's independent stream: the flow
+        carries only the pre-glitch fraction of its work, and the
+        remainder is retransmitted as a fresh flow after an exponential
+        backoff (``RetryPolicy``).
         """
         work = src_hca.serialization_time(
             size, initiator, src_mem, dst_mem
@@ -578,20 +614,75 @@ class Fabric:
         st = _FlowState(src_hca, src_node, dst_node, size, kind, meta,
                         on_deliver, t_posted, xid, delivered, completed,
                         latency, work)
-        flow = engine.add_flow(tx=("tx", src_node), rx=("rx", dst_node),
+        st.status = status
+        st.extra_delay = extra_delay
+        st.owner = owner
+        src_hca.metrics.add("fabric.flows")
+        self._flow_admit(engine, st, work)
+
+    def _flow_admit(self, engine, st: _FlowState, work: float) -> None:
+        """Admit (or re-admit) a flow, consulting the plan's flow fates.
+
+        A "drop" fate splits ``work``: the admitted flow carries the
+        pre-glitch fraction and ``st.drop_remaining`` holds the rest for
+        the retransmit scheduled at drain time.  Fates stop being
+        consulted past ``RetryPolicy.rdma_retry_limit`` attempts, so a
+        retransmit storm is bounded and every message still completes.
+        """
+        plan = self.fault_plan
+        st.drop_remaining = None
+        if (plan is not None and st.status == "ok"
+                and plan.spec.flow_drop_prob > 0.0
+                and st.attempt <= plan.retry.rdma_retry_limit):
+            action, frac = plan.flow_fate(st.kind, st.src_node, st.dst_node,
+                                          st.attempt)
+            if action == "drop":
+                st.drop_remaining = work * (1.0 - frac)
+                work = work * frac
+        flow = engine.add_flow(tx=("tx", st.src_node),
+                               rx=("rx", st.dst_node),
                                work=work, finish=self._flow_drained, tag=st)
         st.fid = flow.fid
-        src_hca.metrics.add("fabric.flows")
         bus = self.bus
         if bus is not None:
             bus.emit("flow", "begin", f"flow{flow.fid}", fid=flow.fid,
-                     xid=xid, kind=kind, size=size, src=src_node,
-                     dst=dst_node)
+                     xid=st.xid, kind=st.kind, size=st.size,
+                     src=st.src_node, dst=st.dst_node, attempt=st.attempt)
 
     def _flow_drained(self, flow, t_drain: float) -> None:
-        """FlowEngine finish callback: close the window, arm the tail."""
+        """FlowEngine finish callback: close the window, arm the tail.
+
+        A flow whose admission drew a drop fate does not deliver: its
+        window closes at the glitch point and the residual work is
+        retransmitted as a fresh flow after an exponential backoff.
+        """
         st = flow.tag
         bus = self.bus
+        if st.drop_remaining is not None:
+            remaining = st.drop_remaining
+            plan = self.fault_plan
+            retry = plan.retry
+            backoff = min(
+                retry.rdma_backoff * (retry.backoff ** (st.attempt - 1)),
+                retry.max_timeout,
+            )
+            st.src_hca.metrics.add("fabric.flow_drops")
+            if bus is not None:
+                bus.emit("flow", "fault", f"flow{flow.fid}", fid=flow.fid,
+                         xid=st.xid, action="drop", attempt=st.attempt)
+                bus.emit("flow", "end", f"flow{flow.fid}", fid=flow.fid,
+                         xid=st.xid)
+            ev = self.sim.event()
+            ev._ok = True
+            ev._value = None
+            ev.callbacks.append(
+                lambda _ev, st=st, remaining=remaining:
+                    self._flow_retry(st, remaining)
+            )
+            self.sim.schedule_at(ev, t_drain + backoff)
+            plan.note_flow_retry(st.kind, st.src_node, st.dst_node,
+                                 st.attempt, backoff)
+            return
         if bus is not None:
             bus.emit("flow", "end", f"flow{flow.fid}", fid=flow.fid,
                      xid=st.xid)
@@ -599,16 +690,70 @@ class Fabric:
         ev._ok = True
         ev._value = None
         ev.callbacks.append(lambda _ev, st=st: self._flow_deliver(st))
-        self.sim.schedule_at(ev, t_drain + st.latency + st.tail)
+        self.sim.schedule_at(ev, t_drain + st.latency + st.tail
+                             + st.extra_delay)
+
+    def _flow_retry(self, st: _FlowState, remaining: float) -> None:
+        """Retransmit a dropped flow's residual work as a fresh flow."""
+        engine = self.flow_engine
+        st.attempt += 1
+        st.src_hca.metrics.add("fabric.flow_retries")
+        bus = self.bus
+        if bus is not None:
+            bus.emit("flow", "retry", f"node{st.src_node}", xid=st.xid,
+                     attempt=st.attempt, kind=st.kind)
+        self._flow_admit(engine, st, remaining)
+
+    def abort_flows(self, owner: Any) -> int:
+        """Cancel every in-flight flow posted by ``owner`` (process death).
+
+        Each aborted flow's window closes at the cancel instant and its
+        transfer completes promptly with an **error CQE** (status
+        "error", no bytes moved) -- mirroring how a real RC QP flushes
+        outstanding WQEs with flush errors when its owner dies.  The
+        initiating layer's normal error/retransmit recovery takes over
+        from there.  Returns the number of flows aborted.
+        """
+        engine = self.flow_engine
+        if engine is None:
+            return 0
+        aborted = 0
+        bus = self.bus
+        for flow in engine.flows():
+            st = flow.tag
+            if not isinstance(st, _FlowState) or st.owner is not owner:
+                continue
+            if engine.cancel_flow(flow) is None:
+                continue  # drained in this very instant; the tail runs
+            aborted += 1
+            st.status = "error"
+            st.drop_remaining = None
+            st.src_hca.metrics.add("fabric.flow_aborts")
+            if bus is not None:
+                bus.emit("flow", "fault", f"flow{flow.fid}", fid=flow.fid,
+                         xid=st.xid, action="abort", attempt=st.attempt)
+                bus.emit("flow", "end", f"flow{flow.fid}", fid=flow.fid,
+                         xid=st.xid)
+            # The flush error surfaces after the protocol tail (the
+            # in-flight bytes still have to land somewhere); delivery
+            # carries status="error" so nothing moves and consumers see
+            # the failed CQE.
+            ev = self.sim.event()
+            ev._ok = True
+            ev._value = None
+            ev.callbacks.append(lambda _ev, st=st: self._flow_deliver(st))
+            self.sim.schedule_at(ev, self.sim.now + st.latency + st.tail)
+        return aborted
 
     def _flow_deliver(self, st: _FlowState) -> None:
         sim = self.sim
         dv = Delivery(
             src_node=st.src_node, dst_node=st.dst_node, size=st.size,
-            kind=st.kind, meta=st.meta, time=sim.now, status="ok",
+            kind=st.kind, meta=st.meta, time=sim.now, status=st.status,
             via="flow",
         )
-        if st.on_deliver is not None:
+        # An error CQE moves no bytes: skip the payload callback.
+        if st.on_deliver is not None and st.status == "ok":
             st.on_deliver(dv)
         if self.tracer is not None:
             self.tracer.record_arrow(
@@ -618,7 +763,7 @@ class Fabric:
         bus = self.bus
         if bus is not None:
             bus.emit("xfer", "deliver", f"node{st.dst_node}", xid=st.xid,
-                     status="ok", via="flow")
+                     status=st.status, via="flow")
         st.src_hca.metrics.observe(
             f"fabric.xfer_latency.{st.kind}", sim.now - st.t_posted
         )
@@ -630,7 +775,7 @@ class Fabric:
         bus = self.bus
         if bus is not None:
             bus.emit("xfer", "complete", f"node{st.src_node}", xid=st.xid,
-                     status="ok", via="flow")
+                     status=st.status, via="flow")
         st.completed.succeed(dv)
 
     def control(

@@ -53,6 +53,8 @@ __all__ = [
     "ProxyKillPlan",
     "RetryPolicy",
     "FaultPlan",
+    "LinkWindow",
+    "LinkDegradePlan",
 ]
 
 #: The offload framework's control-message kinds; a FaultSpec targeting
@@ -82,6 +84,12 @@ class FaultSpec:
     delay_max: float = 25e-6
     #: Probability an RDMA data operation completes with an error CQE.
     error_cqe_prob: float = 0.0
+    #: Probability a bulk transfer riding the fluid FlowEngine suffers a
+    #: mid-flight link glitch: the flow's progress up to the glitch point
+    #: is kept, the remainder is retransmitted as a fresh flow after an
+    #: exponential backoff (see docs/FAULTS.md).  Flow fates draw from
+    #: their own RNG stream, so exact-mode runs never consume them.
+    flow_drop_prob: float = 0.0
     #: Which control-message kinds are eligible (None = all kinds).
     control_kinds: Optional[frozenset] = None
     #: Which initiators' data operations can take an error CQE.
@@ -89,7 +97,7 @@ class FaultSpec:
 
     def __post_init__(self):
         for name in ("drop_prob", "dup_prob", "corrupt_prob", "delay_prob",
-                     "error_cqe_prob"):
+                     "error_cqe_prob", "flow_drop_prob"):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name}={p!r} is not a probability")
@@ -147,12 +155,21 @@ class FaultPlan:
     """
 
     def __init__(self, spec: FaultSpec = FaultSpec(),
-                 kills: tuple = (), seed: Optional[int] = None):
+                 kills: tuple = (), seed: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None):
         self.spec = spec
         self.kills = tuple(kills)
         self.seed = seed
+        #: Recovery constants the *fabric* uses for flow-level
+        #: retransmits (the offload layer keeps its own policy).
+        self.retry = retry if retry is not None else RetryPolicy()
         self.sim = None
         self._rng = None
+        # Flow fates draw from a *separate* stream: the fluid engine's
+        # decisions must never advance the event path's "faults" stream,
+        # so an exact-mode run with the same plan armed stays
+        # bit-identical whatever the flow knobs say.
+        self._flow_rng = None
         #: Optional :class:`~repro.obs.events.EventBus` (set when a bus
         #: is attached to the cluster); every audit record doubles as a
         #: ``fault.inject`` event.
@@ -162,6 +179,7 @@ class FaultPlan:
         self.stats: dict[str, int] = {
             "drops": 0, "dups": 0, "corruptions": 0, "delays": 0,
             "error_cqes": 0, "kills": 0, "restarts": 0,
+            "flow_drops": 0, "flow_retries": 0,
         }
 
     # -- wiring ---------------------------------------------------------
@@ -169,6 +187,7 @@ class FaultPlan:
         self.sim = cluster.sim
         registry = RngRegistry(self.seed) if self.seed is not None else cluster.rng
         self._rng = registry.stream("faults")
+        self._flow_rng = registry.stream("flow-faults")
         return self
 
     def _require_bound(self):
@@ -249,3 +268,203 @@ class FaultPlan:
                 self.stats["delays"] += 1
                 self.record("delay", f"{where} +{extra:.3e}s")
         return status, extra
+
+    def flow_fate(self, kind: str, src_node: int, dst_node: int,
+                  attempt: int):
+        """Fate of one fluid-engine flow (admission): ``(action, frac)``.
+
+        ``action`` is ``"ok"`` or ``"drop"``; on a drop, ``frac`` in
+        [0.05, 0.95] is the fraction of the flow's work that completes
+        before the mid-flight glitch (the fabric retransmits the rest as
+        a fresh flow after an exponential backoff).  Draws come from the
+        dedicated ``flow-faults`` stream only, so consulting this never
+        perturbs the event path's fault sequence.
+        """
+        self._require_bound()
+        if self.spec.flow_drop_prob <= 0.0:
+            return "ok", 1.0
+        rng = self._flow_rng
+        if float(rng.random()) >= self.spec.flow_drop_prob:
+            return "ok", 1.0
+        # Clamp away the degenerate edges: a zero-work glitch flow is
+        # unrepresentable and a ~1.0 fraction is an invisible no-op.
+        frac = 0.05 + 0.9 * float(rng.random())
+        self.stats["flow_drops"] += 1
+        self.record(
+            "flow_drop",
+            f"{kind} n{src_node}->n{dst_node} attempt={attempt} "
+            f"frac={frac:.3f}",
+        )
+        return "drop", frac
+
+    def note_flow_retry(self, kind: str, src_node: int, dst_node: int,
+                        attempt: int, backoff: float) -> None:
+        """Audit one fabric-level flow retransmit (no RNG draw)."""
+        self.stats["flow_retries"] += 1
+        self.record(
+            "flow_retry",
+            f"{kind} n{src_node}->n{dst_node} attempt={attempt} "
+            f"backoff={backoff:.3e}s",
+        )
+
+
+@dataclass(frozen=True)
+class LinkWindow:
+    """One link-degradation window on a node's tx or rx endpoint.
+
+    ``factor`` scales the endpoint's port capacity for the window's
+    duration: 0.5 halves the achievable rate of every flow crossing the
+    endpoint, 0.0 is a *flap* (the link is down; flows stall and resume
+    at restore).  Windows on the same endpoint may overlap -- the
+    effective capacity is the minimum over open windows.
+    """
+
+    node: int
+    direction: str  # "tx" or "rx"
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self):
+        if self.direction not in ("tx", "rx"):
+            raise ValueError(f"direction must be 'tx' or 'rx', "
+                             f"got {self.direction!r}")
+        if self.start < 0.0 or self.duration <= 0.0:
+            raise ValueError("window start must be >= 0 and duration > 0")
+        if not 0.0 <= self.factor < 1.0:
+            raise ValueError(f"degrade factor must be in [0, 1), "
+                             f"got {self.factor!r}")
+
+
+class LinkDegradePlan:
+    """Seeded schedule of link degradations on the fluid flow path.
+
+    Either pass explicit :class:`LinkWindow` tuples, or sampling knobs
+    (``count`` windows uniform over ``[0, horizon)``); sampled windows
+    are drawn at install time from the cluster registry's dedicated
+    ``link-degrade`` stream (or a private registry when ``seed`` is
+    given), so a (cluster seed, plan) pair always degrades the same
+    links at the same instants.
+
+    The plan drives :meth:`FlowEngine.set_endpoint_capacity` at each
+    window edge -- the engine settles in-flight progress and re-solves
+    ``fair_shares`` there -- and emits ``link.degrade``/``link.restore``
+    obs events.  Install via
+    :meth:`repro.hw.cluster.Cluster.install_link_degrade`; the cluster
+    must be in fluid mode (link capacity is a flow-path concept; the
+    event-exact engine models ports as busy/idle only).
+    """
+
+    def __init__(self, windows: tuple = (), *, count: int = 0,
+                 horizon: float = 0.0,
+                 duration_range: tuple = (20e-6, 200e-6),
+                 factor_range: tuple = (0.25, 0.75),
+                 flap_prob: float = 0.25,
+                 seed: Optional[int] = None):
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count and horizon <= 0.0:
+            raise ValueError("sampling windows requires a horizon > 0")
+        self.windows = tuple(windows)
+        self.count = count
+        self.horizon = horizon
+        self.duration_range = duration_range
+        self.factor_range = factor_range
+        self.flap_prob = flap_prob
+        self.seed = seed
+        self.sim = None
+        self.bus = None
+        self.stats: dict[str, int] = {"degrades": 0, "restores": 0}
+        #: (time, category, detail) audit records, in schedule order.
+        self.events: list[tuple] = []
+        self._engine = None
+        self._metrics = None
+        # Effective capacity bookkeeping: open window factors per
+        # endpoint key (overlaps take the min).
+        self._open: dict[tuple, list] = {}
+
+    # -- wiring ---------------------------------------------------------
+    def bind(self, cluster: "Cluster") -> "LinkDegradePlan":
+        engine = cluster.fabric.flow_engine
+        if engine is None:
+            raise ValueError(
+                "LinkDegradePlan needs a fluid cluster (flow engine "
+                "attached); link capacity does not exist on the "
+                "event-exact path"
+            )
+        self.sim = cluster.sim
+        self._engine = engine
+        self._metrics = cluster.metrics
+        if self.bus is None:
+            self.bus = cluster.bus
+        registry = RngRegistry(self.seed) if self.seed is not None else cluster.rng
+        rng = registry.stream("link-degrade")
+        windows = list(self.windows)
+        for _ in range(self.count):
+            node = int(rng.integers(0, cluster.spec.nodes))
+            direction = "tx" if float(rng.random()) < 0.5 else "rx"
+            start = float(rng.random()) * self.horizon
+            lo, hi = self.duration_range
+            duration = lo + float(rng.random()) * max(0.0, hi - lo)
+            if float(rng.random()) < self.flap_prob:
+                factor = 0.0
+            else:
+                flo, fhi = self.factor_range
+                factor = flo + float(rng.random()) * max(0.0, fhi - flo)
+            windows.append(LinkWindow(node, direction, start, duration, factor))
+        windows.sort(key=lambda w: (w.start, w.node, w.direction))
+        self.windows = tuple(windows)
+        for wid, w in enumerate(self.windows):
+            self._arm_window(wid, w)
+        return self
+
+    def _arm_window(self, wid: int, w: LinkWindow) -> None:
+        sim = self.sim
+        begin = sim.event()
+        begin._ok = True
+        begin._value = None
+        begin.callbacks.append(lambda _ev, wid=wid, w=w: self._degrade(wid, w))
+        sim.schedule_at(begin, w.start)
+        end = sim.event()
+        end._ok = True
+        end._value = None
+        end.callbacks.append(lambda _ev, wid=wid, w=w: self._restore(wid, w))
+        sim.schedule_at(end, w.start + w.duration)
+
+    def _effective(self, key: tuple) -> float:
+        factors = self._open.get(key)
+        return min(factors) if factors else 1.0
+
+    def _degrade(self, wid: int, w: LinkWindow) -> None:
+        key = (w.direction, w.node)
+        self._open.setdefault(key, []).append(w.factor)
+        self._engine.set_endpoint_capacity(key, self._effective(key))
+        self.stats["degrades"] += 1
+        self._metrics.add("fabric.link_degrades")
+        now = self.sim.now
+        self.events.append((round(now, 12), "degrade",
+                            f"{w.direction} n{w.node} factor={w.factor:.3f}"))
+        if self.bus is not None:
+            self.bus.emit("link", "degrade", f"node{w.node}", wid=wid,
+                          node=w.node, direction=w.direction,
+                          factor=w.factor)
+
+    def _restore(self, wid: int, w: LinkWindow) -> None:
+        key = (w.direction, w.node)
+        factors = self._open.get(key)
+        if factors is not None:
+            factors.remove(w.factor)
+            if not factors:
+                del self._open[key]
+        self._engine.set_endpoint_capacity(key, self._effective(key))
+        self.stats["restores"] += 1
+        now = self.sim.now
+        self.events.append((round(now, 12), "restore",
+                            f"{w.direction} n{w.node}"))
+        if self.bus is not None:
+            self.bus.emit("link", "restore", f"node{w.node}", wid=wid,
+                          node=w.node, direction=w.direction)
+
+    def trace(self) -> tuple:
+        """Immutable audit trail; byte-identical across reruns of one seed."""
+        return tuple(self.events)

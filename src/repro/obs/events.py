@@ -23,7 +23,9 @@ sim        deadlock
 proc       start, end
 wqe        post
 xfer       post, deliver, complete
-flow       begin, end   (fluid hybrid mode bulk windows)
+flow       begin, end, fault, retry   (fluid hybrid mode bulk windows)
+fluid      disabled   (an armed FaultPlan forced the exact path)
+link       degrade, restore   (LinkDegradePlan window edges)
 ctrl       post, deliver, drop
 reg        mr, mkey, mkey2, revoke, stale_use
 cache      hit, miss, stale, evict   (args name the cache)
@@ -51,8 +53,8 @@ __all__ = ["ObsEvent", "EventBus", "CATEGORIES"]
 #: categories too (forward compatibility), but filters and docs speak
 #: this vocabulary.
 CATEGORIES = (
-    "sim", "proc", "wqe", "xfer", "flow", "ctrl", "reg", "cache",
-    "req", "group", "proxy", "mpi", "mem", "fault",
+    "sim", "proc", "wqe", "xfer", "flow", "fluid", "link", "ctrl", "reg",
+    "cache", "req", "group", "proxy", "mpi", "mem", "fault",
 )
 
 
@@ -124,6 +126,8 @@ class EventBus:
             node.hca.bus = bus
         if getattr(cluster, "fault_plan", None) is not None:
             cluster.fault_plan.bus = bus
+        if getattr(cluster, "link_plan", None) is not None:
+            cluster.link_plan.bus = bus
         return bus
 
     def subscribe(self, fn: Callable[[ObsEvent], None]) -> None:

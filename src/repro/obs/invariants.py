@@ -35,6 +35,17 @@ itself, straight off the :class:`~repro.obs.events.EventBus` stream
    (``flow<fid>``) nor tagged with its ``fid``.  A flow models a pure
    rate-shared DMA: any protocol work attributed to it mid-window means
    the hybrid engine leaked event-exact work into the coarse model.
+7. **Flow faults recover** (fluid + fault injection) -- every
+   ``flow.fault`` with ``action="drop"`` at attempt *n* must be
+   followed by a ``flow.retry`` for the same ``xid`` at attempt *n+1*
+   (the retransmit of the lost remainder actually launched), and every
+   ``action="abort"`` fault must be followed by that ``xid``'s
+   ``xfer.deliver`` carrying ``status="error"`` (the flush error
+   surfaced to its consumer rather than vanishing).
+8. **Link windows are paired** -- every ``link.degrade`` has a
+   matching ``link.restore`` with the same ``wid`` no earlier than it:
+   a degraded endpoint must always get its capacity back, else the
+   plan leaked a permanent slowdown into the fabric.
 
 :func:`trace_violations` returns the violations as pointed human
 messages; :func:`check_trace` raises :class:`TraceInvariantError`
@@ -243,6 +254,61 @@ def _check_flow_windows(bus, out: list[str]) -> None:
                 )
 
 
+def _check_flow_faults(bus, out: list[str]) -> None:
+    """Dropped flows must retransmit; aborted flows must error out."""
+    faults = bus.select(cat="flow", name="fault")
+    if not faults:
+        return
+    retries = bus.select(cat="flow", name="retry")
+    delivers = {ev.arg("xid"): ev for ev in bus.select(cat="xfer", name="deliver")}
+    for f in faults:
+        xid = f.arg("xid")
+        action = f.arg("action")
+        if action == "drop":
+            attempt = f.arg("attempt")
+            if not any(
+                r.arg("xid") == xid and r.arg("attempt") == attempt + 1
+                and (r.time, r.seq) >= (f.time, f.seq)
+                for r in retries
+            ):
+                out.append(
+                    f"flow fid={f.arg('fid')} (xid={xid}) dropped at "
+                    f"{_fmt_t(f.time)} on attempt {attempt} but no retry at "
+                    f"attempt {attempt + 1} ever followed -- the lost "
+                    f"remainder was never retransmitted"
+                )
+        elif action == "abort":
+            dv = delivers.get(xid)
+            if dv is None or dv.arg("status") != "error" \
+                    or (dv.time, dv.seq) < (f.time, f.seq):
+                out.append(
+                    f"flow fid={f.arg('fid')} (xid={xid}) aborted at "
+                    f"{_fmt_t(f.time)} but no status=\"error\" delivery "
+                    f"followed -- the flush error never surfaced to its "
+                    f"consumer"
+                )
+
+
+def _check_link_windows(bus, out: list[str]) -> None:
+    """Every link degrade must be matched by a later restore (same wid)."""
+    restores = {ev.arg("wid"): ev for ev in bus.select(cat="link", name="restore")}
+    for deg in bus.select(cat="link", name="degrade"):
+        wid = deg.arg("wid")
+        rst = restores.get(wid)
+        if rst is None:
+            out.append(
+                f"link window wid={wid} degraded node{deg.arg('node')} "
+                f"{deg.arg('direction')} to factor {deg.arg('factor')} at "
+                f"{_fmt_t(deg.time)} and never restored -- the run ended "
+                f"with a permanently crippled endpoint"
+            )
+        elif (rst.time, rst.seq) < (deg.time, deg.seq):
+            out.append(
+                f"link window wid={wid} restored at {_fmt_t(rst.time)} "
+                f"before its degrade at {_fmt_t(deg.time)}"
+            )
+
+
 def _check_plan_cache(bus, out: list[str], allow_replay_after_fault: bool) -> None:
     fault_times = [ev.time for ev in bus.select(cat="fault")]
     fault_times += [ev.time for ev in bus.select(cat="proxy", name="kill")]
@@ -299,6 +365,8 @@ def trace_violations(bus, tracer=None, *, keys=None, check_overlap: bool = True,
     _check_transfers(bus, out)
     _check_control(bus, out)
     _check_flow_windows(bus, out)
+    _check_flow_faults(bus, out)
+    _check_link_windows(bus, out)
     _check_plan_cache(bus, out, allow_replay_after_fault)
     if keys is not None:
         _check_keytable(keys, out)

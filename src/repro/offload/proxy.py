@@ -291,6 +291,16 @@ class ProxyEngine:
         if bus is not None:
             bus.emit("proxy", "kill", self.ctx.trace_name,
                      incarnation=self.incarnation)
+        # Fluid mode: this worker's in-flight bulk flows die with its
+        # QPs.  Each aborts into a flush-error CQE; the dead
+        # incarnation's watchers discard it, and the host-side
+        # retransmit / group-replay machinery redoes the work against
+        # the next incarnation.
+        fabric = self.ctx.cluster.fabric
+        if fabric.flow_engine is not None:
+            aborted = fabric.abort_flows(self.ctx)
+            if aborted:
+                self.ctx.cluster.metrics.add("proxy.flows_aborted", aborted)
         if self.process.is_alive:
             self.process.interrupt("proxy killed")
 

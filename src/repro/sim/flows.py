@@ -47,15 +47,19 @@ __all__ = ["Flow", "FlowEngine", "fair_shares"]
 _TINY = 1e-12
 
 
-def fair_shares(tx, rx, caps, n_endpoints: int) -> np.ndarray:
-    """Max-min fair time-shares for flows over unit-capacity endpoints.
+def fair_shares(tx, rx, caps, n_endpoints: int,
+                endpoint_caps=None) -> np.ndarray:
+    """Max-min fair time-shares for flows over capacity-limited endpoints.
 
     ``tx``/``rx`` are dense endpoint ids per flow (a flow loads both);
-    ``caps`` is the per-flow rate ceiling.  Water-filling: raise every
-    unfrozen flow's rate uniformly until a constraint binds (an endpoint
-    exhausts its capacity or a flow hits its cap), freeze the bound
-    flows, repeat.  Each round freezes at least one flow, so the loop is
-    O(n) rounds worst case and O(active endpoints) in practice.
+    ``caps`` is the per-flow rate ceiling.  ``endpoint_caps`` is an
+    optional per-endpoint capacity array (defaults to unit capacity
+    everywhere; link degradation lowers individual entries, a flapped
+    link is capacity 0.0).  Water-filling: raise every unfrozen flow's
+    rate uniformly until a constraint binds (an endpoint exhausts its
+    capacity or a flow hits its cap), freeze the bound flows, repeat.
+    Each round freezes at least one flow, so the loop is O(n) rounds
+    worst case and O(active endpoints) in practice.
 
     Pure and deterministic -- exposed for the Hypothesis property tests.
     """
@@ -66,7 +70,16 @@ def fair_shares(tx, rx, caps, n_endpoints: int) -> np.ndarray:
     share = np.zeros(n, dtype=np.float64)
     if n == 0:
         return share
-    cap_left = np.ones(n_endpoints, dtype=np.float64)
+    if endpoint_caps is None:
+        cap_left = np.ones(n_endpoints, dtype=np.float64)
+    else:
+        cap_left = np.asarray(endpoint_caps, dtype=np.float64).copy()
+        if cap_left.shape != (n_endpoints,):
+            raise ValueError(
+                f"endpoint_caps must have shape ({n_endpoints},), "
+                f"got {cap_left.shape}"
+            )
+        np.maximum(cap_left, 0.0, out=cap_left)
     active = np.ones(n, dtype=bool)
     while active.any():
         load = (
@@ -139,12 +152,26 @@ class FlowEngine:
         self.threshold = threshold
         self._active: list[Flow] = []
         self._pending: list[Flow] = []
-        # Arrays aligned with _active between recomputes; remaining work
-        # is authoritative in _rem (Flow.remaining is synced lazily).
+        # Arrays aligned with _active, maintained incrementally (append
+        # on admission, mask on drain/cancel) so a re-solve never walks
+        # the flow list in Python; remaining work is authoritative in
+        # _rem (Flow.remaining is synced lazily).
         self._rem = np.empty(0, dtype=np.float64)
         self._share = np.empty(0, dtype=np.float64)
         self._eps = np.empty(0, dtype=np.float64)
+        self._tx = np.empty(0, dtype=np.intp)
+        self._rx = np.empty(0, dtype=np.intp)
+        self._caps = np.empty(0, dtype=np.float64)
         self._endpoints: dict[Any, int] = {}
+        # Non-default endpoint capacities (dense id -> capacity in
+        # [0, 1]); empty on a healthy fabric, which keeps the solver on
+        # the original all-ones path bit for bit.  Populated by link
+        # degradation (see repro.hw.faults.LinkDegradePlan).
+        self._ep_caps: dict[int, float] = {}
+        #: Set when endpoint capacities changed since the last solve;
+        #: forces a fair-share recompute at the next sync even if the
+        #: flow set itself is unchanged.
+        self._dirty = False
         self._next_fid = 0
         self._last_t = 0.0
         self._wake_gen = 0
@@ -152,6 +179,7 @@ class FlowEngine:
         # Diagnostics.
         self.flows_started = 0
         self.flows_finished = 0
+        self.flows_cancelled = 0
         self.recomputes = 0
         self.wakes = 0
 
@@ -189,6 +217,85 @@ class FlowEngine:
         self._schedule_kick()
         return flow
 
+    def cancel_flow(self, flow: Flow) -> Optional[float]:
+        """Withdraw an in-flight flow; returns its remaining port-seconds.
+
+        Progress is settled to the current instant first, so the
+        returned residue is exact.  The flow's ``finish`` callback never
+        fires; the survivors are re-shared at this instant.  Returns
+        ``None`` when the flow already drained or was already cancelled
+        (cancellation is idempotent -- proxy kills race flow drains).
+        """
+        if flow in self._pending:
+            self._pending.remove(flow)
+            self.flows_cancelled += 1
+            self._schedule_kick()
+            return float(flow.remaining)
+        try:
+            i = self._active.index(flow)
+        except ValueError:
+            return None
+        now = self.sim.now
+        dt = now - self._last_t
+        if dt > 0.0:
+            self._rem -= dt * self._share
+            self._last_t = now
+        remaining = max(0.0, float(self._rem[i]))
+        flow.remaining = remaining
+        del self._active[i]
+        keep = np.ones(len(self._rem), dtype=bool)
+        keep[i] = False
+        self._mask_arrays(keep)
+        self.flows_cancelled += 1
+        if self._active:
+            self._recompute()
+        self._arm_wake(now)
+        return remaining
+
+    def requeue(self, flow: Flow, *,
+                finish: Optional[Callable[[Flow, float], None]] = None) -> Flow:
+        """Re-admit a cancelled flow's residue as a fresh flow.
+
+        The new flow inherits the old endpoints, cap and tag (and
+        ``finish`` unless overridden); its work is the cancelled flow's
+        remaining port-seconds.  Raises ``ValueError`` when nothing
+        remains -- a fully drained flow has no residue to requeue.
+        """
+        eps = {v: k for k, v in self._endpoints.items()}
+        return self.add_flow(
+            tx=eps[flow.tx], rx=eps[flow.rx], work=flow.remaining,
+            finish=flow.finish if finish is None else finish,
+            cap=flow.cap, tag=flow.tag,
+        )
+
+    def flows(self) -> list[Flow]:
+        """Snapshot of every in-flight flow (active + this instant's batch)."""
+        return self._active + self._pending
+
+    def set_endpoint_capacity(self, key: Any, capacity: float) -> None:
+        """Set an endpoint's capacity (1.0 healthy, 0.0 flapped down).
+
+        Takes effect at the current instant: in-flight progress is
+        settled under the old shares, then the fair shares are re-solved
+        against the new capacity (the degrade/restore edge).
+        """
+        if capacity < 0.0:
+            raise ValueError(f"endpoint capacity must be >= 0, got {capacity!r}")
+        eid = self.endpoint(key)
+        if capacity >= 1.0:
+            self._ep_caps.pop(eid, None)
+        else:
+            self._ep_caps[eid] = float(capacity)
+        self._dirty = True
+        self._schedule_kick()
+
+    def endpoint_capacity(self, key: Any) -> float:
+        """Current capacity of an endpoint (1.0 unless degraded)."""
+        eid = self._endpoints.get(key)
+        if eid is None:
+            return 1.0
+        return self._ep_caps.get(eid, 1.0)
+
     def probe(self) -> Iterable[str]:
         """Watchdog lines describing in-flight flows (deadlock reports)."""
         n = self.active_count
@@ -196,10 +303,18 @@ class FlowEngine:
             return []
         self._sync_remaining()
         oldest = min(self._active + self._pending, key=lambda f: f.fid)
-        return [
+        lines = [
             f"flow engine: {n} active flow(s); oldest fid={oldest.fid} "
             f"remaining={oldest.remaining:.3e} port-s rate={oldest.rate:.3f}"
         ]
+        if self._ep_caps:
+            names = {v: k for k, v in self._endpoints.items()}
+            detail = ", ".join(
+                f"{names[eid]}={cap:.2f}"
+                for eid, cap in sorted(self._ep_caps.items())
+            )
+            lines.append(f"flow engine: degraded endpoint(s): {detail}")
+        return lines
 
     # -- internals -------------------------------------------------------
     def _schedule_kick(self) -> None:
@@ -231,9 +346,13 @@ class FlowEngine:
         self._last_t = now
         self._finish_due(now)
         if self._pending:
-            self._active.extend(self._pending)
-            self._pending.clear()
+            self._admit_pending()
             self._recompute()
+        elif self._dirty and self._active:
+            # Endpoint capacity changed under an unchanged flow set
+            # (link degrade/restore edge): re-solve the shares.
+            self._recompute()
+        self._dirty = False
         self._arm_wake(now)
 
     def _finish_due(self, now: float) -> None:
@@ -253,9 +372,7 @@ class FlowEngine:
         finished = [act[i] for i in idx]  # ascending index == fid order
         keep = ~done
         self._active = [f for f, k in zip(act, keep) if k]
-        self._rem = rem[keep]
-        self._share = self._share[keep]
-        self._eps = self._eps[keep]
+        self._mask_arrays(keep)
         if self._active:
             self._recompute()
         else:
@@ -266,26 +383,53 @@ class FlowEngine:
             self.flows_finished += 1
             f.finish(f, now)
 
+    def _mask_arrays(self, keep: np.ndarray) -> None:
+        self._rem = self._rem[keep]
+        self._share = self._share[keep]
+        self._eps = self._eps[keep]
+        self._tx = self._tx[keep]
+        self._rx = self._rx[keep]
+        self._caps = self._caps[keep]
+
+    def _admit_pending(self) -> None:
+        """Append this instant's batch to the active set and its arrays."""
+        new = self._pending
+        k = len(new)
+        self._active.extend(new)
+        self._pending = []
+        self._tx = np.concatenate(
+            [self._tx, np.fromiter((f.tx for f in new), dtype=np.intp, count=k)]
+        )
+        self._rx = np.concatenate(
+            [self._rx, np.fromiter((f.rx for f in new), dtype=np.intp, count=k)]
+        )
+        self._caps = np.concatenate(
+            [self._caps,
+             np.fromiter((f.cap for f in new), dtype=np.float64, count=k)]
+        )
+        self._rem = np.concatenate(
+            [self._rem,
+             np.fromiter((f.remaining for f in new), dtype=np.float64, count=k)]
+        )
+        self._eps = np.concatenate(
+            [self._eps,
+             np.fromiter((1e-9 * f.work + 1e-18 for f in new),
+                         dtype=np.float64, count=k)]
+        )
+
     def _recompute(self) -> None:
         act = self._active
         n = len(act)
         self.recomputes += 1
         if n == 0:
             return
-        tx = np.fromiter((f.tx for f in act), dtype=np.intp, count=n)
-        rx = np.fromiter((f.rx for f in act), dtype=np.intp, count=n)
-        caps = np.fromiter((f.cap for f in act), dtype=np.float64, count=n)
-        rem = np.fromiter((f.remaining for f in act), dtype=np.float64, count=n)
-        # _rem is authoritative for flows that were already active; the
-        # fromiter above only seeds newly admitted flows, so overwrite
-        # the prefix... both sources agree only after _sync_remaining().
-        if len(self._rem) and len(self._rem) <= n:
-            rem[: len(self._rem)] = self._rem
-        self._rem = rem
-        self._share = fair_shares(tx, rx, caps, len(self._endpoints))
-        self._eps = np.fromiter(
-            (1e-9 * f.work + 1e-18 for f in act), dtype=np.float64, count=n
-        )
+        ep_caps = None
+        if self._ep_caps:
+            ep_caps = np.ones(len(self._endpoints), dtype=np.float64)
+            for eid, c in self._ep_caps.items():
+                ep_caps[eid] = c
+        self._share = fair_shares(self._tx, self._rx, self._caps,
+                                  len(self._endpoints), ep_caps)
         for f, r in zip(act, self._share):
             f.rate = float(r)
 

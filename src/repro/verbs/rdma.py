@@ -140,6 +140,7 @@ def rdma_write(
         on_deliver=deliver,
         kind="rdma_write",
         bw_scale=bw_scale,
+        owner=initiator,
     )
 
 
@@ -197,6 +198,7 @@ def rdma_read(
         dst_mem=local_owner.mem_kind,
         on_deliver=deliver,
         kind="rdma_read",
+        owner=initiator,
     )
     if lazy_payload:
         t.payload_src = (remote_owner.space, remote_addr)

@@ -221,3 +221,59 @@ class TestFlowWindowInvariant:
         bus.emit("flow", "end", "flow0", fid=0, xid=0)
         violations = trace_violations(bus)
         assert any("bulk window" in v for v in violations)
+
+
+class TestFaultyDifferential:
+    """Fault injection composed with the hybrid engine: the same seeded
+    chaos campaign must tell the same recovery story on both engines.
+
+    At the soak workload's message sizes each exchange rides a solo
+    flow, where the fluid engine reproduces the event engine's
+    timestamps exactly -- so the differential is strict: identical
+    fault statistics, identical completion counts, and latency samples
+    within FLUID_RTOL.  Flow-drop fates exist only on the fluid path
+    (their stream is never consumed in exact mode), so the strict
+    comparison runs with flow_drop=0 and a separate check covers the
+    composed fates.
+    """
+
+    SEEDS = (7, 8, 9)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_faulty_fluid_matches_faulty_exact(self, seed):
+        from repro.experiments.soak import soak_iteration
+
+        exact = soak_iteration(0, "quick", 0.05, 0.02, 4, 1, 1,
+                               False, 0.0, seed=seed)
+        fluid = soak_iteration(0, "quick", 0.05, 0.02, 4, 1, 1,
+                               True, 0.0, seed=seed)
+        assert exact["fault_stats"] == fluid["fault_stats"]
+        for k, v in exact["counters"].items():
+            assert fluid["counters"][k] == v, f"counter {k} diverged"
+        assert fluid["counters"]["flows"] > 0  # not vacuous
+        for hist in ("recovery_latency", "req_latency"):
+            a, b = exact["hists"][hist], fluid["hists"][hist]
+            assert len(a) == len(b), f"{hist} sample count diverged"
+            for x, y in zip(sorted(a), sorted(b)):
+                assert y == pytest.approx(x, rel=FLUID_RTOL), (
+                    f"{hist}: fluid {y!r} vs exact {x!r}")
+
+    def test_flow_drops_stay_in_the_recovery_envelope(self):
+        """With flow-drop fates armed on top, the campaign still
+        completes every request and recovery latencies stay in the same
+        regime (the retransmitted remainder rides the same backoff
+        constants as the event path's recoveries)."""
+        import numpy as np
+
+        from repro.experiments.soak import soak_iteration
+
+        exact = soak_iteration(0, "quick", 0.05, 0.02, 4, 1, 1,
+                               False, 0.0, seed=7)
+        faulty = soak_iteration(0, "quick", 0.05, 0.02, 4, 1, 1,
+                                True, 0.2, seed=7)
+        assert faulty["counters"]["completions"] == \
+            exact["counters"]["completions"]
+        assert faulty["fault_stats"]["flow_drops"] > 0
+        p50_exact = float(np.percentile(exact["hists"]["req_latency"], 50))
+        p50_faulty = float(np.percentile(faulty["hists"]["req_latency"], 50))
+        assert p50_faulty < 5.0 * p50_exact

@@ -1,0 +1,190 @@
+"""Link degradation on the fluid flow path.
+
+A :class:`LinkDegradePlan` lowers node tx/rx endpoint capacities for
+seeded windows; the FlowEngine settles in-flight progress and re-solves
+``fair_shares`` at every degrade/restore edge.  A factor-0 window is a
+flap: crossing flows stall entirely and resume at restore.
+"""
+
+import numpy as np
+import pytest
+
+from tests.helpers import run_procs
+from repro.hw import Cluster, ClusterSpec, LinkDegradePlan, LinkWindow
+from repro.obs.events import EventBus
+from repro.obs.invariants import check_trace, trace_violations
+from repro.sim.flows import fair_shares
+from repro.verbs.mr import reg_mr
+from repro.verbs.rdma import rdma_write
+
+MB = 1 << 20
+
+
+def _fluid_cluster(seed=9, threshold=4096):
+    cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1, seed=seed,
+                             fluid=True, fluid_threshold=threshold))
+    bus = EventBus.attach(cl)
+    return cl, bus
+
+
+def _one_write(cl, size=512 * 1024):
+    a, b = cl.ranks[0], cl.ranks[1]
+    out = {}
+
+    def prog(sim):
+        sa = a.space.alloc(MB)
+        da = b.space.alloc(MB)
+        ha = yield from reg_mr(a, sa, MB)
+        hb = yield from reg_mr(b, da, MB)
+        t = yield from rdma_write(a, lkey=ha.lkey, src_addr=sa,
+                                  rkey=hb.rkey, dst_addr=da, size=size,
+                                  copy=False)
+        out["dv"] = yield t.completed
+        out["t_done"] = sim.now
+
+    run_procs(cl, [prog(cl.sim)])
+    return out
+
+
+class TestFairSharesEndpointCaps:
+    def test_reduced_cap_limits_crossing_flows(self):
+        # Two flows share tx endpoint 0; its capacity is halved.
+        shares = fair_shares([0, 0], [1, 2], [1.0, 1.0], 3,
+                             endpoint_caps=[0.5, 1.0, 1.0])
+        assert shares == pytest.approx([0.25, 0.25])
+
+    def test_zero_cap_stalls_crossing_flows_only(self):
+        shares = fair_shares([0, 1], [2, 3], [1.0, 1.0], 4,
+                             endpoint_caps=[0.0, 1.0, 1.0, 1.0])
+        assert shares[0] == pytest.approx(0.0)
+        assert shares[1] == pytest.approx(1.0)
+
+    def test_none_matches_all_ones(self):
+        tx, rx = [0, 0, 1], [2, 3, 3]
+        caps = [1.0, 0.5, 1.0]
+        a = fair_shares(tx, rx, caps, 4)
+        b = fair_shares(tx, rx, caps, 4, endpoint_caps=np.ones(4))
+        assert np.array_equal(a, b)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="endpoint_caps"):
+            fair_shares([0], [1], [1.0], 2, endpoint_caps=[1.0])
+
+    def test_negative_caps_clamp_to_zero(self):
+        shares = fair_shares([0], [1], [1.0], 2, endpoint_caps=[-0.5, 1.0])
+        assert shares[0] == pytest.approx(0.0)
+
+
+class TestDegradeSlowsFlows:
+    def test_halved_endpoint_doubles_the_window(self):
+        base_cl, _ = _fluid_cluster()
+        base = _one_write(base_cl)
+        assert base["dv"].status == "ok"
+
+        slow_cl, bus = _fluid_cluster()
+        # Cover the whole transfer with a 0.5-factor window on the
+        # source's tx endpoint.
+        slow_cl.install_link_degrade(LinkDegradePlan(
+            (LinkWindow(node=0, direction="tx", start=0.0, duration=1.0,
+                        factor=0.5),)))
+        slow = _one_write(slow_cl)
+        assert slow["dv"].status == "ok"
+        assert slow["t_done"] > base["t_done"]
+        # The serialization window itself doubled; fixed latency/post
+        # overheads dilute the end-to-end ratio below 2x.
+        assert slow["t_done"] < 2.0 * base["t_done"]
+
+    def test_flap_stalls_until_restore(self):
+        cl, bus = _fluid_cluster()
+        # Link down from t=0 for 300us: the flow cannot start moving
+        # until the restore edge.
+        cl.install_link_degrade(LinkDegradePlan(
+            (LinkWindow(node=0, direction="tx", start=0.0, duration=300e-6,
+                        factor=0.0),)))
+        out = _one_write(cl)
+        assert out["dv"].status == "ok"
+        assert out["t_done"] > 300e-6
+        ends = bus.select(cat="flow", name="end")
+        assert len(ends) == 1 and ends[0].time > 300e-6
+        check_trace(bus)
+
+    def test_overlapping_windows_take_the_minimum(self):
+        cl, _ = _fluid_cluster()
+        cl.install_link_degrade(LinkDegradePlan((
+            LinkWindow(node=0, direction="tx", start=0.0, duration=1.0,
+                       factor=0.5),
+            LinkWindow(node=0, direction="tx", start=0.0, duration=0.5,
+                       factor=0.25),
+        )))
+        cl.sim.run(until=0.1)
+        eng = cl.fabric.flow_engine
+        assert eng.endpoint_capacity(("tx", 0)) == pytest.approx(0.25)
+        cl.sim.run(until=0.75)
+        assert eng.endpoint_capacity(("tx", 0)) == pytest.approx(0.5)
+        cl.sim.run(until=1.5)
+        assert eng.endpoint_capacity(("tx", 0)) == pytest.approx(1.0)
+
+
+class TestSeededSampling:
+    def _trace(self, seed):
+        cl, bus = _fluid_cluster(seed=seed)
+        plan = LinkDegradePlan(count=6, horizon=1e-3)
+        cl.install_link_degrade(plan)
+        _one_write(cl)
+        cl.sim.run()  # drain any windows past the transfer
+        return plan.trace(), tuple(
+            (e.time, e.cat, e.name, e.entity, e.args) for e in bus.events)
+
+    def test_same_seed_same_schedule(self):
+        assert self._trace(21) == self._trace(21)
+
+    def test_different_seed_different_schedule(self):
+        assert self._trace(21)[0] != self._trace(22)[0]
+
+    def test_sampled_windows_pair_up(self):
+        cl, bus = _fluid_cluster()
+        plan = LinkDegradePlan(count=5, horizon=1e-3)
+        cl.install_link_degrade(plan)
+        _one_write(cl)
+        cl.sim.run()
+        assert plan.stats["degrades"] == plan.stats["restores"] == 5
+        assert cl.metrics.get("fabric.link_degrades") == 5
+        assert not trace_violations(bus)
+
+
+class TestInstallValidation:
+    def test_exact_mode_cluster_rejects_the_plan(self):
+        cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+        with pytest.raises(ValueError, match="fluid"):
+            cl.install_link_degrade(LinkDegradePlan(count=1, horizon=1e-3))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="direction"):
+            LinkWindow(node=0, direction="up", start=0.0, duration=1.0,
+                       factor=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            LinkWindow(node=0, direction="tx", start=0.0, duration=1.0,
+                       factor=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            LinkWindow(node=0, direction="tx", start=0.0, duration=0.0,
+                       factor=0.5)
+
+    def test_sampling_needs_a_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            LinkDegradePlan(count=3)
+
+    def test_engine_capacity_validation(self):
+        cl, _ = _fluid_cluster()
+        eng = cl.fabric.flow_engine
+        with pytest.raises(ValueError, match="capacity"):
+            eng.set_endpoint_capacity(("tx", 0), -0.1)
+        assert eng.endpoint_capacity(("tx", 99)) == 1.0
+
+
+class TestMissingLinkInvariant:
+    def test_unrestored_degrade_is_flagged(self):
+        cl, bus = _fluid_cluster()
+        bus.emit("link", "degrade", "node0", wid=0, node=0, direction="tx",
+                 factor=0.5)
+        violations = trace_violations(bus)
+        assert any("never restored" in v for v in violations)

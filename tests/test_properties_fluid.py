@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -169,3 +170,203 @@ def test_fluid_deterministic_under_permutation(transfers, seed):
     got = sorted(zip((transfers[i] for i in order), permuted))
     want = sorted(zip(transfers, base))
     assert got == want
+
+
+# ---------------------------------------------------------------------------
+# degraded endpoints: conservation under per-endpoint capacities
+# ---------------------------------------------------------------------------
+
+endpoint_cap_sets = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=12, max_size=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(flows=flow_sets, ep_caps=endpoint_cap_sets)
+def test_fair_shares_conserves_degraded_capacity(flows, ep_caps):
+    """With per-endpoint capacities no endpoint exceeds *its own* cap,
+    and flows crossing a flapped (zero-capacity) endpoint get rate 0."""
+    tx = np.array([f[0] for f in flows], dtype=np.int64)
+    rx = np.array([f[1] for f in flows], dtype=np.int64)
+    caps = np.array([f[2] for f in flows], dtype=np.float64)
+    ep = np.array(ep_caps, dtype=np.float64)
+    shares = fair_shares(tx, rx, caps, 12, endpoint_caps=ep)
+
+    assert np.all(shares >= 0.0)
+    assert np.all(shares <= caps + _EPS)
+    for e in range(12):
+        load = shares[(tx == e) | (rx == e)].sum()
+        assert load <= ep[e] + _EPS, (
+            f"endpoint {e} (cap {ep[e]}) oversubscribed: {load}")
+    flapped = (ep[tx] <= 0.0) | (ep[rx] <= 0.0)
+    assert np.all(shares[flapped] <= _EPS)
+
+
+def test_fair_shares_all_idle_endpoints():
+    """Endpoints with no crossing flows stay untouched; an empty flow
+    set yields an empty share vector whatever the capacities."""
+    assert fair_shares([], [], [], 5).shape == (0,)
+    assert fair_shares([], [], [], 5, endpoint_caps=np.zeros(5)).shape == (0,)
+    # One flow on endpoints 0/1; endpoints 2..4 idle (degraded or not).
+    shares = fair_shares([0], [1], [1.0], 5,
+                         endpoint_caps=[1.0, 1.0, 0.0, 0.3, 0.0])
+    assert shares[0] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# engine edge cases: admission guards, churn, capacity edges
+# ---------------------------------------------------------------------------
+
+def _engine():
+    from repro.sim import FlowEngine, Simulator
+
+    sim = Simulator()
+    return sim, FlowEngine(sim)
+
+
+def test_zero_work_flow_rejected():
+    sim, eng = _engine()
+    for bad in (0.0, -1.0):
+        try:
+            eng.add_flow(tx="a", rx="b", work=bad, finish=lambda f, t: None)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError(f"work={bad} was admitted")
+    # A fully drained flow has no residue to requeue either.
+    drained = []
+    f = eng.add_flow(tx="a", rx="b", work=1.0,
+                     finish=lambda fl, t: drained.append(fl))
+    sim.run()
+    assert drained == [f] and f.remaining == 0.0
+    try:
+        eng.requeue(f)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("drained flow was requeued")
+
+
+def test_cap_change_mid_drain_stretches_completion():
+    """Halving an endpoint's capacity halfway through doubles the rest:
+    1s of work at rate 1 for 0.5s, then rate 0.5 -> drains at t=1.5."""
+    sim, eng = _engine()
+    done = []
+    eng.add_flow(tx="a", rx="b", work=1.0,
+                 finish=lambda f, t: done.append(t))
+    ev = sim.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(
+        lambda _ev: eng.set_endpoint_capacity(("a"), 0.5))
+    sim.schedule_at(ev, 0.5)
+    sim.run()
+    assert done == [1.5]
+
+
+def test_restore_mid_drain_speeds_completion():
+    sim, eng = _engine()
+    done = []
+    eng.set_endpoint_capacity("a", 0.5)
+    eng.add_flow(tx="a", rx="b", work=1.0,
+                 finish=lambda f, t: done.append(t))
+    ev = sim.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(lambda _ev: eng.set_endpoint_capacity("a", 1.0))
+    sim.schedule_at(ev, 1.0)
+    sim.run()
+    # 0.5 port-s done by t=1 at rate 0.5, the rest at rate 1.
+    assert done == [1.5]
+
+
+def test_flow_set_churn_in_one_instant():
+    """Cancel + requeue + admit inside a single simulated instant
+    batches into one coherent recompute (no lost or double work)."""
+    sim, eng = _engine()
+    finished = {}
+
+    def fin(name):
+        return lambda f, t: finished.setdefault(name, t)
+
+    f1 = eng.add_flow(tx="a", rx="b", work=1.0, finish=fin("f1"))
+    eng.add_flow(tx="a", rx="b", work=1.0, finish=fin("f2"))
+
+    def churn(_ev):
+        rem = eng.cancel_flow(f1)          # settled at t=0.5: 0.25 done
+        assert rem is not None and abs(rem - 0.75) < 1e-9
+        eng.requeue(f1, finish=fin("f1b"))  # back in the same instant
+        eng.add_flow(tx="a", rx="b", work=0.5, finish=fin("f3"))
+
+    ev = sim.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(churn)
+    sim.schedule_at(ev, 0.5)
+    sim.run()
+    assert "f1" not in finished  # the cancelled flow's finish never fired
+    assert set(finished) == {"f1b", "f2", "f3"}
+    # Total work 0.75 + 0.75 + 0.5 = 2.0 port-s from t=0.5 on a unit
+    # endpoint: everything must have drained by exactly t=2.5.
+    assert max(finished.values()) == pytest.approx(2.5)
+    assert eng.active_count == 0
+
+
+def test_cancel_pending_flow_same_instant():
+    sim, eng = _engine()
+    fired = []
+    f = eng.add_flow(tx="a", rx="b", work=1.0,
+                     finish=lambda fl, t: fired.append(t))
+    assert eng.cancel_flow(f) == 1.0  # cancelled before the batch kick
+    sim.run()
+    assert not fired and eng.active_count == 0
+    assert eng.flows_cancelled == 1
+
+
+def test_cancel_after_drain_returns_none():
+    sim, eng = _engine()
+    f = eng.add_flow(tx="a", rx="b", work=1.0, finish=lambda fl, t: None)
+    sim.run()
+    assert eng.cancel_flow(f) is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    works=st.lists(st.floats(0.1, 4.0, allow_nan=False), min_size=2,
+                   max_size=8),
+    cancel_at=st.floats(0.05, 0.5, allow_nan=False),
+    cancel_idx=st.integers(0, 7),
+)
+def test_cancel_requeue_conserves_work(works, cancel_at, cancel_idx):
+    """Cancelling any flow mid-drain and immediately requeueing it
+    leaves total delivered work -- and thus the final drain time --
+    identical to never cancelling at all."""
+    cancel_idx %= len(works)
+
+    def run(interfere):
+        sim, eng = _engine()
+        done = {}
+        flows = [
+            eng.add_flow(tx="x", rx=f"r{i}", work=w,
+                         finish=lambda f, t, i=i: done.setdefault(i, t))
+            for i, w in enumerate(works)
+        ]
+        if interfere:
+            def poke(_ev):
+                victim = flows[cancel_idx]
+                if eng.cancel_flow(victim) is not None:
+                    eng.requeue(
+                        victim,
+                        finish=lambda f, t: done.setdefault(cancel_idx, t))
+
+            ev = sim.event()
+            ev._ok = True
+            ev._value = None
+            ev.callbacks.append(poke)
+            sim.schedule_at(ev, cancel_at)
+        sim.run()
+        assert len(done) == len(works)
+        return max(done.values())
+
+    base = run(False)
+    assert run(True) == pytest.approx(base, rel=1e-9)

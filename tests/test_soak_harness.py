@@ -85,3 +85,65 @@ class TestSoakHarness:
         assert report["config"]["drop_prob"] == 0.1
         assert report["config"]["seed"] == 5
         assert report["config"]["scale"] == "quick"
+        assert report["config"]["nodes"] == 2
+        assert report["config"]["fluid"] is False
+
+
+class TestSoakTopologyKnobs:
+    def test_ring_scales_to_many_ranks(self, tmp_path):
+        rc, _, report = _run(tmp_path, "--nodes", "4", "--ppn", "2")
+        assert rc == 0
+        assert report["iterations"]["completed"] == 3
+        assert report["config"] == {**report["config"],
+                                    "nodes": 4, "ppn": 2, "proxies": 1}
+        # 8 ranks x 12 rounds x (send + recv) per iteration.
+        assert report["counters"]["completions"] == 3 * 8 * 12 * 2
+        assert report["slo"]["recovery_latency"]["count"] > 0
+
+    def test_shape_extends_the_journal_key(self, tmp_path):
+        """Different topologies never collide in one journal directory."""
+        out = tmp_path / "soak"
+        rc1 = soak.main(["--iters", "2", "--out", str(out)])
+        rc2 = soak.main(["--iters", "2", "--out", str(out), "--nodes", "4"])
+        assert rc1 == rc2 == 0
+        j = Journal(out, label="soak")
+        assert len(j.keys()) == 4  # two distinct shapes, two iters each
+
+    def test_multi_proxy_topology(self, tmp_path):
+        rc, _, report = _run(tmp_path, "--nodes", "2", "--ppn", "2",
+                             "--proxies", "2")
+        assert rc == 0
+        assert report["iterations"]["completed"] == 3
+
+
+class TestSoakFluidMode:
+    def test_fluid_soak_rides_the_flow_engine(self, tmp_path):
+        rc, _, report = _run(tmp_path, "--fluid", "--nodes", "4")
+        assert rc == 0
+        assert report["config"]["fluid"] is True
+        assert report["config"]["flow_drop_prob"] > 0
+        # Every exchange is at the pinned threshold: flows were real.
+        assert report["counters"]["flows"] > 0
+        assert report["counters"]["flow_cqes"] > 0
+        # The flow fates bit and were recovered from.
+        assert report["fault_stats"]["flow_drops"] > 0
+        assert report["counters"]["flow_drops"] == \
+            report["counters"]["flow_retries"]
+        assert report["slo"]["recovery_latency"]["count"] > 0
+
+    def test_fluid_soak_is_deterministic(self, tmp_path):
+        _, _, a = _run(tmp_path / "a", "--fluid", "--nodes", "4")
+        _, _, b = _run(tmp_path / "b", "--fluid", "--nodes", "4")
+        assert _strip_wall(a) == _strip_wall(b)
+
+    def test_fluid_and_exact_share_a_journal_without_collision(self, tmp_path):
+        out = tmp_path / "soak"
+        assert soak.main(["--iters", "2", "--out", str(out)]) == 0
+        assert soak.main(["--iters", "2", "--out", str(out), "--fluid"]) == 0
+        assert len(Journal(out, label="soak").keys()) == 4
+
+    def test_flow_drop_zero_disables_flow_fates(self, tmp_path):
+        rc, _, report = _run(tmp_path, "--fluid", "--flow-drop", "0")
+        assert rc == 0
+        assert report["fault_stats"]["flow_drops"] == 0
+        assert report["counters"]["flows"] > 0
