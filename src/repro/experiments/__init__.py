@@ -29,6 +29,7 @@ ALL_FIGURES = [
     "fig15_group_vs_simple",
     "fig16_p3dfft",
     "fig17_hpl",
+    "fig18_collective_scaling",
 ]
 
 __all__ = ["ALL_FIGURES", "FigureResult", "Series", "ShapeCheck"]

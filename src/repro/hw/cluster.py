@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+import numpy as np
+
 from repro.hw.fabric import Fabric
 from repro.hw.fluid import resolve_fluid
 from repro.hw.metrics import Metrics
@@ -10,6 +14,56 @@ from repro.hw.params import ClusterSpec
 from repro.sim import FlowEngine, RngRegistry, Simulator
 
 __all__ = ["Cluster"]
+
+
+class _LazyContexts(Sequence):
+    """List-like view over a slim cluster's rank or proxy contexts.
+
+    Indexing materializes (and caches) the requested
+    :class:`~repro.hw.node.ProcessContext`; iteration materializes the
+    lot, so code that genuinely needs every context still works.
+    Construction is a plain call with no simulator side effects, which
+    is what makes first-touch creation timing-invisible (see
+    tests/test_scale_slim.py for the differential proof).
+    """
+
+    def __init__(self, cluster: "Cluster", kind: str, count: int):
+        self._cluster = cluster
+        self._kind = kind
+        self._count = count
+        self._made: dict[int, ProcessContext] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [self[i] for i in range(*idx.indices(self._count))]
+        if idx < 0:
+            idx += self._count
+        if not 0 <= idx < self._count:
+            raise IndexError(f"{self._kind} context {idx} out of range")
+        ctx = self._made.get(idx)
+        if ctx is None:
+            ctx = self._made[idx] = self._make(idx)
+        return ctx
+
+    def _make(self, idx: int) -> ProcessContext:
+        cl = self._cluster
+        spec = cl.spec
+        if self._kind == "host":
+            return ProcessContext(
+                cl, "host", spec.node_of_rank(idx),
+                global_id=idx, local_id=spec.local_rank(idx),
+            )
+        return ProcessContext(
+            cl, "dpu", idx // spec.proxies_per_dpu,
+            global_id=idx, local_id=idx % spec.proxies_per_dpu,
+        )
+
+    def materialized(self) -> list[ProcessContext]:
+        """The contexts created so far, in id order."""
+        return [self._made[i] for i in sorted(self._made)]
 
 
 class Cluster:
@@ -67,26 +121,52 @@ class Cluster:
             # instead of chunking them).
             self.fabric.chunk_bytes = spec.chunk_bytes
 
-        #: Flat list of host rank contexts, indexed by MPI rank.
-        self.ranks: list[ProcessContext] = []
-        for rank in range(spec.world_size):
-            node_id = spec.node_of_rank(rank)
-            ctx = ProcessContext(
-                self, "host", node_id, global_id=rank, local_id=spec.local_rank(rank)
-            )
-            self.nodes[node_id].host_procs.append(ctx)
-            self.ranks.append(ctx)
+        n_proxies = spec.nodes * spec.proxies_per_dpu
+        #: Shared busy-time bookkeeping for slim clusters: one float64
+        #: slot per process (ranks first, then proxies) instead of one
+        #: boxed float per context.  ``None`` when eager -- the consume
+        #: hot path then stays a plain attribute add.
+        self._busy_times = (
+            np.zeros(spec.world_size + n_proxies) if spec.slim else None
+        )
 
-        #: Flat list of proxy contexts, node-major.
-        self.proxies: list[ProcessContext] = []
-        for node_id in range(spec.nodes):
-            for local_idx in range(spec.proxies_per_dpu):
-                gid = node_id * spec.proxies_per_dpu + local_idx
+        if spec.slim:
+            #: Host rank contexts, indexed by MPI rank (lazy when slim).
+            self.ranks = _LazyContexts(self, "host", spec.world_size)
+            #: Proxy contexts, node-major (lazy when slim).
+            self.proxies = _LazyContexts(self, "dpu", n_proxies)
+        else:
+            #: Flat list of host rank contexts, indexed by MPI rank.
+            self.ranks: list[ProcessContext] = []
+            for rank in range(spec.world_size):
+                node_id = spec.node_of_rank(rank)
                 ctx = ProcessContext(
-                    self, "dpu", node_id, global_id=gid, local_id=local_idx
+                    self, "host", node_id, global_id=rank,
+                    local_id=spec.local_rank(rank)
                 )
-                self.nodes[node_id].dpu_procs.append(ctx)
-                self.proxies.append(ctx)
+                self.nodes[node_id].host_procs.append(ctx)
+                self.ranks.append(ctx)
+
+            #: Flat list of proxy contexts, node-major.
+            self.proxies: list[ProcessContext] = []
+            for node_id in range(spec.nodes):
+                for local_idx in range(spec.proxies_per_dpu):
+                    gid = node_id * spec.proxies_per_dpu + local_idx
+                    ctx = ProcessContext(
+                        self, "dpu", node_id, global_id=gid, local_id=local_idx
+                    )
+                    self.nodes[node_id].dpu_procs.append(ctx)
+                    self.proxies.append(ctx)
+
+    def _busy_slot(self, kind: str, global_id: int):
+        """Index of a process's slot in the shared busy-time array.
+
+        ``None`` when this cluster is eager (contexts then keep a plain
+        float, the faster path for the consume hot loop).
+        """
+        if self._busy_times is None:
+            return None
+        return global_id if kind == "host" else self.spec.world_size + global_id
 
     # -- fault injection ----------------------------------------------------
     def install_faults(self, plan) -> "Cluster":
@@ -126,7 +206,7 @@ class Cluster:
         return self.ranks[rank]
 
     def proxy_ctx(self, node_id: int, local_idx: int) -> ProcessContext:
-        return self.nodes[node_id].dpu_procs[local_idx]
+        return self.proxies[node_id * self.spec.proxies_per_dpu + local_idx]
 
     def proxy_for_rank(self, rank: int) -> ProcessContext:
         """The DPU worker that serves ``rank`` (paper's modulo mapping)."""

@@ -42,24 +42,65 @@ class ProcessContext:
         self.global_id = global_id
         #: Index within this node (local rank / local proxy index).
         self.local_id = local_id
-        params = cluster.params
-        budget = (
-            params.host_mem_budget if kind == "host" else params.dpu_mem_budget
-        )
-        self.space = AddressSpace(
-            owner=f"{kind}{global_id}@n{node_id}",
-            kind=kind,
-            budget=budget,
-            reuse=params.reuse_freed_addresses,
-        )
-        self.inbox: Store = Store(cluster.sim)
+        # Address space and inbox are built on first touch: neither
+        # constructor has simulator side effects, and at thousand-rank
+        # scale most of a figure's resident bytes would otherwise be
+        # spent on contexts the program never exercises.
+        self._space: AddressSpace | None = None
+        self._inbox: Store | None = None
         #: Callbacks ``(addr, size)`` invoked by :meth:`free` after the
         #: range is released and covering keys are revoked -- caches
         #: register here to drop entries over freed memory.
         self.free_listeners: list = []
-        #: Cumulative busy time this process has charged to its core
-        #: (diagnostics; incremented by :meth:`consume`).
-        self.busy_time = 0.0
+        # Busy-time bookkeeping (diagnostics; incremented by
+        # :meth:`consume`).  Slim clusters share one numpy array across
+        # all contexts (8 bytes/process); eager clusters keep a plain
+        # float so the consume hot path stays a single attribute add.
+        slot = cluster._busy_slot(kind, global_id)
+        if slot is None:
+            self._busy_arr, self._busy_slot = None, 0
+            self._busy_local = 0.0
+        else:
+            self._busy_arr, self._busy_slot = cluster._busy_times, slot
+
+    @property
+    def space(self) -> AddressSpace:
+        """This process's virtual memory (materialized on first use)."""
+        sp = self._space
+        if sp is None:
+            params = self.cluster.params
+            budget = (
+                params.host_mem_budget
+                if self.kind == "host"
+                else params.dpu_mem_budget
+            )
+            sp = self._space = AddressSpace(
+                owner=f"{self.kind}{self.global_id}@n{self.node_id}",
+                kind=self.kind,
+                budget=budget,
+                reuse=params.reuse_freed_addresses,
+            )
+        return sp
+
+    @property
+    def inbox(self) -> Store:
+        """Control-message inbox (materialized on first use)."""
+        ib = self._inbox
+        if ib is None:
+            ib = self._inbox = Store(self.sim)
+        return ib
+
+    @property
+    def busy_time(self) -> float:
+        arr = self._busy_arr
+        return self._busy_local if arr is None else float(arr[self._busy_slot])
+
+    @busy_time.setter
+    def busy_time(self, value: float) -> None:
+        if self._busy_arr is None:
+            self._busy_local = value
+        else:
+            self._busy_arr[self._busy_slot] = value
 
     # -- convenience ------------------------------------------------------
     @property
@@ -77,7 +118,10 @@ class ProcessContext:
 
     def consume(self, seconds: float):
         """Occupy this process's core for ``seconds`` (a timeout event)."""
-        self.busy_time += seconds
+        if self._busy_arr is None:
+            self._busy_local += seconds
+        else:
+            self._busy_arr[self._busy_slot] += seconds
         tracer = self.cluster.tracer
         if tracer is not None and seconds > 0:
             tracer.record_span(self.trace_name, self.sim.now, self.sim.now + seconds)
@@ -133,16 +177,21 @@ class Node:
         self.cluster = cluster
         self.node_id = node_id
         self.hca = Hca(cluster.sim, node_id, cluster.params, cluster.metrics)
-        #: Host rank contexts living on this node (filled by Cluster).
+        #: Host rank contexts living on this node (filled by Cluster;
+        #: left empty by slim clusters, whose contexts materialize
+        #: lazily -- the accessors below go through the cluster either
+        #: way and return the same objects).
         self.host_procs: list[ProcessContext] = []
-        #: DPU proxy contexts (filled by Cluster).
+        #: DPU proxy contexts (filled by Cluster; empty when slim).
         self.dpu_procs: list[ProcessContext] = []
 
     def host_proc(self, local_rank: int) -> ProcessContext:
-        return self.host_procs[local_rank]
+        return self.cluster.ranks[self.node_id * self.cluster.spec.ppn + local_rank]
 
     def dpu_proc(self, local_idx: int) -> ProcessContext:
-        return self.dpu_procs[local_idx]
+        return self.cluster.proxies[
+            self.node_id * self.cluster.spec.proxies_per_dpu + local_idx
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

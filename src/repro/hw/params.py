@@ -162,6 +162,21 @@ class MachineParams:
     #: unpolled completions overflows the CQ (fatal, as on hardware).
     cq_depth: Optional[int] = None
 
+    # ----- thousand-rank scale-out (docs/PERFORMANCE.md "Scaling") -------
+    # All default to None / False = byte-identical to the pre-scale-out
+    # behaviour: one proxy wakeup per message, one doorbell per counter.
+    #: Max inbox items a proxy drains per wakeup.  ``None`` (default)
+    #: keeps the one-message-per-wakeup loop; a positive value switches
+    #: the proxy to batched drain -- everything already queued (up to
+    #: this many items) is handled under a *single* ARM handler charge,
+    #: so proxy event count scales with batches, not messages.  Each
+    #: drain emits one ``queue.drain`` event carrying the batch size.
+    proxy_batch_drain: Optional[int] = None
+    #: Batch the per-destination counter doorbells a group barrier
+    #: flushes: one ARM doorbell (``dpu_post_overhead``) arms the whole
+    #: WQE chain instead of one per destination.  Off by default.
+    counter_doorbell_batch: bool = False
+
     # ----- compute -------------------------------------------------------
     #: Host double-precision throughput per core (Broadwell ~ 2.4 GHz
     #: AVX2 FMA: ~16 flop/cycle sustained fraction).
@@ -262,6 +277,15 @@ class ClusterSpec:
     #: message-level FSM -- and every committed table -- bit-identical.
     #: Ignored for transfers riding the FlowEngine in fluid mode.
     chunk_bytes: Optional[int] = None
+    #: Slim per-rank state for thousand-rank clusters: rank/proxy
+    #: ProcessContexts, MPI runtimes, offload endpoints, and proxy
+    #: engines materialize lazily on first use instead of eagerly at
+    #: construction, and per-rank busy-time bookkeeping moves into one
+    #: shared numpy array.  ``False`` (default) keeps eager
+    #: construction -- and every committed table and golden trace --
+    #: bit-identical.  Simulated timings are unchanged either way (see
+    #: tests/test_scale_slim.py); only resident bytes/rank drop.
+    slim: bool = False
     params: MachineParams = field(default_factory=MachineParams)
 
     def __post_init__(self) -> None:

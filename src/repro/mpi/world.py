@@ -13,6 +13,32 @@ from repro.sim import Process
 __all__ = ["MpiWorld"]
 
 
+class _LazyRuntimes:
+    """Per-rank MpiRuntimes for a slim cluster, built on first use."""
+
+    def __init__(self, world: "MpiWorld"):
+        self._world = world
+        self._count = world.cluster.world_size
+        self._made: dict[int, MpiRuntime] = {}
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, rank: int) -> MpiRuntime:
+        rt = self._made.get(rank)
+        if rt is None:
+            world = self._world
+            rt = MpiRuntime(world, world.cluster.ranks[rank])
+            rt.ctx.mpi = rt
+            self._made[rank] = rt
+        return rt
+
+    def __iter__(self):
+        # Iteration (assert_quiescent) only visits runtimes that exist:
+        # a rank that never ran has no protocol state to leak.
+        return iter(self._made[r] for r in sorted(self._made))
+
+
 class MpiWorld:
     """One MPI job spanning every host rank of a cluster.
 
@@ -33,11 +59,14 @@ class MpiWorld:
     def __init__(self, cluster: Cluster):
         self.cluster = cluster
         self.sim = cluster.sim
-        self.runtimes: list[MpiRuntime] = [
-            MpiRuntime(self, ctx) for ctx in cluster.ranks
-        ]
-        for rt in self.runtimes:
-            rt.ctx.mpi = rt
+        if cluster.spec.slim:
+            self.runtimes = _LazyRuntimes(self)
+        else:
+            self.runtimes: list[MpiRuntime] = [
+                MpiRuntime(self, ctx) for ctx in cluster.ranks
+            ]
+            for rt in self.runtimes:
+                rt.ctx.mpi = rt
         self.comm_world = Communicator.world(cluster.world_size)
 
     @property

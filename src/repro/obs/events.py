@@ -32,6 +32,7 @@ cache      hit, miss, stale, evict   (args name the cache)
 req        post, complete, retransmit, fallback, stall, repost
 group      call, offloaded, launch, replay, done, rebuild
 proxy      start, kill, restart, pair, fin, degrade
+queue      drain   (batched proxy wakeups; ``n`` = items served)
 mpi        isend, complete
 mem        free, oom
 fault      inject, cq_overflow
@@ -54,7 +55,7 @@ __all__ = ["ObsEvent", "EventBus", "CATEGORIES"]
 #: this vocabulary.
 CATEGORIES = (
     "sim", "proc", "wqe", "xfer", "flow", "fluid", "link", "ctrl", "reg",
-    "cache", "req", "group", "proxy", "mpi", "mem", "fault",
+    "cache", "req", "group", "proxy", "queue", "mpi", "mem", "fault",
 )
 
 

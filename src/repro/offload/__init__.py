@@ -26,6 +26,12 @@ Entry point: :class:`~repro.offload.api.OffloadFramework`
 
 from repro.offload.api import OffloadEndpoint, OffloadFramework
 from repro.offload.bst import AvlTree
+from repro.offload.collectives import (
+    allreduce_algorithm,
+    build_iallgather,
+    build_iallreduce,
+    build_ibcast,
+)
 from repro.offload.gvmi_cache import DpuGvmiCache, HostGvmiCache
 from repro.offload.requests import (
     GroupOp,
@@ -38,6 +44,10 @@ from repro.offload.staging import StagingChannel
 __all__ = [
     "AvlTree",
     "DpuGvmiCache",
+    "allreduce_algorithm",
+    "build_iallgather",
+    "build_iallreduce",
+    "build_ibcast",
     "GroupOp",
     "HostGvmiCache",
     "OffloadEndpoint",

@@ -152,12 +152,19 @@ class OffloadFramework:
         #: (requests that abandoned their proxy for the host path).
         self.fallback_log: list[tuple] = []
 
-        self._endpoints: list[OffloadEndpoint] = [
-            OffloadEndpoint(self, ctx) for ctx in cluster.ranks
-        ]
-        self._proxy_engines: dict[int, ProxyEngine] = {
-            ctx.global_id: ProxyEngine(self, ctx) for ctx in cluster.proxies
-        }
+        #: Slim clusters materialize endpoints and proxy engines on
+        #: first use (ProxyEngine start events then appear at the time
+        #: of first contact rather than t=0, which is why slim is
+        #: opt-in: eager construction stays byte-identical).
+        self._slim = cluster.spec.slim
+        if self._slim:
+            self._endpoints: dict[int, OffloadEndpoint] = {}
+            self._proxy_engines: dict[int, ProxyEngine] = {}
+        else:
+            self._endpoints = [OffloadEndpoint(self, ctx) for ctx in cluster.ranks]
+            self._proxy_engines = {
+                ctx.global_id: ProxyEngine(self, ctx) for ctx in cluster.proxies
+            }
         if self.fault_plan is not None:
             for kill in self.fault_plan.kills:
                 self.sim.process(self._execute_kill(kill))
@@ -172,7 +179,7 @@ class OffloadFramework:
     def _execute_kill(self, kill):
         """Arm one scheduled ProxyKillPlan (a simulation process)."""
         plan = self.fault_plan
-        engine = self._proxy_engines[kill.proxy_gid]
+        engine = self.proxy_engine(self.cluster.proxies[kill.proxy_gid])
         yield self.sim.timeout(max(0.0, kill.at - self.sim.now))
         plan.stats["kills"] += 1
         plan.record("kill", f"proxy{kill.proxy_gid}")
@@ -184,13 +191,43 @@ class OffloadFramework:
             engine.restart()
 
     def endpoint(self, rank: int) -> "OffloadEndpoint":
+        if self._slim:
+            ep = self._endpoints.get(rank)
+            if ep is None:
+                ep = self._endpoints[rank] = OffloadEndpoint(
+                    self, self.cluster.ranks[rank]
+                )
+            return ep
         return self._endpoints[rank]
 
     def proxy_engine(self, proxy_ctx: ProcessContext) -> ProxyEngine:
-        return self._proxy_engines[proxy_ctx.global_id]
+        gid = proxy_ctx.global_id
+        engine = self._proxy_engines.get(gid)
+        if engine is None:
+            if not self._slim:
+                raise KeyError(gid)
+            engine = self._proxy_engines[gid] = ProxyEngine(self, proxy_ctx)
+        return engine
 
     def proxy_engine_for_rank(self, rank: int) -> ProxyEngine:
-        return self._proxy_engines[self.cluster.proxy_for_rank(rank).global_id]
+        return self.proxy_engine(self.cluster.proxy_for_rank(rank))
+
+    def serving_proxy(self, rank: int) -> ProcessContext:
+        """The proxy context serving ``rank``, with its engine running.
+
+        Endpoints must target proxies through this (not bare
+        ``cluster.proxy_for_rank``): on a slim cluster the engine only
+        exists once someone asks for it, and a control message posted to
+        an engine-less inbox would sit there forever.  Materialization
+        is a plain call, so first-touch start changes no simulated time.
+        """
+        ctx = self.cluster.proxy_for_rank(rank)
+        if self._slim:
+            self.proxy_engine(ctx)
+        return ctx
+
+    def _live_endpoints(self):
+        return self._endpoints.values() if self._slim else self._endpoints
 
     def finalize(self) -> None:
         """``Finalize_Offload``: stop every proxy loop."""
@@ -213,7 +250,7 @@ class OffloadFramework:
                 raise OffloadError(
                     f"proxy {engine.ctx.global_id}: executors still waiting on counters"
                 )
-        for ep in self._endpoints:
+        for ep in self._live_endpoints():
             if ep._pending:
                 raise OffloadError(f"rank {ep.rank}: incomplete offload requests")
 
@@ -382,7 +419,7 @@ class OffloadEndpoint:
                      kind=req.kind)
         cluster = self.framework.cluster
         if req.kind == "send":
-            proxy = cluster.proxy_for_rank(self.rank)
+            proxy = self.framework.serving_proxy(self.rank)
             if self.framework.mode == "gvmi":
                 gvmi = gvmi_id_of(proxy)
                 mkey = yield from self.gvmi_cache.get(proxy, gvmi, req.addr, req.size)
@@ -402,7 +439,7 @@ class OffloadEndpoint:
                     "req_id": req.req_id,
                 })
         else:
-            proxy = cluster.proxy_for_rank(req.peer)
+            proxy = self.framework.serving_proxy(req.peer)
             handle = yield from self.ib_cache.get(req.addr, req.size)
             msg = ("rtr", {
                 "src": req.peer, "dst": self.rank, "tag": req.tag,
@@ -424,7 +461,7 @@ class OffloadEndpoint:
         req = OffloadRequest(kind="send", rank=self.rank, peer=dst, tag=tag,
                              addr=addr, size=size)
         self._register_pending(req)
-        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        proxy = self.framework.serving_proxy(self.rank)
         self.ctx.cluster.metrics.add("offload.basic_sends")
         if self.framework.mode == "staged":
             # Staging: the proxy will RDMA-READ the source buffer, so a
@@ -466,7 +503,7 @@ class OffloadEndpoint:
                              addr=addr, size=size)
         self._register_pending(req)
         handle = yield from self.ib_cache.get(addr, size)
-        proxy = self.framework.cluster.proxy_for_rank(src)
+        proxy = self.framework.serving_proxy(src)
         self.ctx.cluster.metrics.add("offload.basic_recvs")
         rtr = {
             "src": src, "dst": self.rank, "tag": tag,
@@ -563,7 +600,7 @@ class OffloadEndpoint:
         if greq.needs_rebuild:
             yield from self._rebuild_group(greq)
             return
-        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        proxy = self.framework.serving_proxy(self.rank)
         if plan.sent_to_proxy and not plan.dirty:
             yield from post_control(
                 self.ctx, proxy,
@@ -605,7 +642,7 @@ class OffloadEndpoint:
         if bus is not None:
             bus.emit("group", "rebuild", self.ctx.trace_name, call=greq.req_id)
         self._gdesc_seen.clear()
-        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        proxy = self.framework.serving_proxy(self.rank)
         entries = yield from self._build_entries(greq, proxy)
         if self.framework.group_caching:
             plan = self.group_cache.insert(greq.signature(), entries)
@@ -771,6 +808,22 @@ class OffloadEndpoint:
         """``Recv_Goffload``: record a receive."""
         greq.record(GroupOp("recv", addr=addr, size=size, peer=src, tag=tag))
 
+    def group_reduce(self, greq: OffloadGroupRequest, src_addr: int,
+                     dst_addr: int, size: int) -> None:
+        """Record a DPU-side accumulate: ``dst += src`` over float64 words.
+
+        The proxy's executor performs the arithmetic on its ARM cores
+        (host buffers reached through the GVMI mapping), which is what
+        lets a whole reduction collective progress with zero host CPU
+        inside the window.  Place it *after* the barrier that awaits the
+        receive feeding ``src_addr`` -- entries execute in recorded
+        order, and only a barrier orders remote data arrival.
+        """
+        if size % 8:
+            raise OffloadError("group_reduce operates on float64 words "
+                               "(size must be a multiple of 8)")
+        greq.record(GroupOp("reduce", addr=src_addr, addr2=dst_addr, size=size))
+
     def group_barrier(self, greq: OffloadGroupRequest) -> None:
         """``Local_barrier_Goffload``: everything after starts only after
         everything before completes (local to this rank's pattern)."""
@@ -808,7 +861,7 @@ class OffloadEndpoint:
         # (keeps cached plans from going stale; see group_cache).
         yield from self._drain_inbox()
 
-        proxy = self.framework.cluster.proxy_for_rank(self.rank)
+        proxy = self.framework.serving_proxy(self.rank)
         caching = self.framework.group_caching
         plan = self.group_cache.lookup(greq.signature()) if caching else None
         metrics = self.ctx.cluster.metrics
@@ -935,6 +988,14 @@ class OffloadEndpoint:
                     inbox=peer_ep.inbox,
                     kind="gdesc",
                 )
+            elif op.kind == "reduce":
+                # Both buffers are this rank's own memory; the proxy
+                # reaches them through the GVMI mapping it already holds,
+                # so no registration or descriptor exchange is needed.
+                entries.append({
+                    "kind": "reduce", "addr": op.addr,
+                    "dst_addr": op.addr2, "size": op.size,
+                })
             else:
                 entries.append({"kind": "barrier"})
 

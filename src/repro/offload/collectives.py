@@ -1,0 +1,263 @@
+"""Offloaded collectives: Ibcast / Iallgather / Iallreduce as Group DAGs.
+
+Each builder records a complete collective round structure into one
+:class:`~repro.offload.requests.OffloadGroupRequest` per rank.  Once the
+pattern is shipped (``Group_Offload_call``) the whole collective --
+message posting, barrier counters, and for Iallreduce the arithmetic
+itself (DPU-side :meth:`group_reduce` entries) -- runs on the proxies
+with **zero host CPU inside the window**: the host is free between the
+call and ``Group_Wait``, which the trace invariant
+(:func:`repro.obs.invariants.check_invariants`) enforces.
+
+Round structure and barrier discipline
+--------------------------------------
+
+The group executor flushes barrier counters per *segment* (the ops
+between consecutive barriers), so two constraints shape every builder:
+
+* every rank of the communicator records the **same number of
+  barriers** (the executor's matching assumption) -- ranks idle in a
+  round still record that round's barrier;
+* a send that forwards received data sits in a **later segment** than
+  its receive, so the barrier's counter await orders the remote write
+  before the forward.
+
+Algorithms (classic MPICH shapes, adapted to the Group entry queue):
+
+* **Ibcast** -- binomial tree, ``ceil(log2 p)`` rounds.
+* **Iallgather** -- ring, ``p - 1`` rounds; block ``(me - r) % p``
+  moves right each round, landing directly in the receive buffer.
+* **Iallreduce** -- recursive doubling (power-of-two ``p``,
+  ``log2 p`` rounds) or ring reduce-scatter + allgather (any ``p``,
+  ``2(p-1)`` rounds); ``auto`` picks by communicator size.  Inbound
+  partials land in **per-round scratch slots**: a partner one round
+  ahead may RDMA-write its next contribution while this rank's ARM is
+  still folding the previous one, and distinct slots make that overlap
+  safe without extra barriers.
+
+Payloads are float64 words (``group_reduce``'s element type); sizes
+must be multiples of 8 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.offload.requests import OffloadError, OffloadGroupRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.offload.api import OffloadEndpoint
+
+__all__ = [
+    "build_ibcast",
+    "build_iallgather",
+    "build_iallreduce",
+    "allreduce_algorithm",
+    "TAG_BCAST",
+    "TAG_ALLGATHER",
+    "TAG_ALLREDUCE",
+]
+
+#: Default tag bases, one page per collective so per-round tags
+#: (``base + round``) never collide across concurrently-built patterns
+#: of different collectives.  Callers overlapping two instances of the
+#: *same* collective pass distinct bases.
+TAG_BCAST = 0x7A00
+TAG_ALLGATHER = 0x7B00
+TAG_ALLREDUCE = 0x7C00
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def allreduce_algorithm(comm_size: int, algorithm: str = "auto") -> str:
+    """Resolve the Iallreduce algorithm name for a communicator size.
+
+    ``auto`` prefers recursive doubling (log rounds) when the size is a
+    power of two and falls back to the ring otherwise; the ring's
+    ``2(p-1)`` rounds only win on very large payloads at small ``p``,
+    which callers can force with ``algorithm="ring"``.
+    """
+    if algorithm == "auto":
+        return "rd" if _is_pow2(comm_size) else "ring"
+    if algorithm not in ("rd", "ring"):
+        raise OffloadError(f"unknown Iallreduce algorithm {algorithm!r}")
+    if algorithm == "rd" and not _is_pow2(comm_size):
+        raise OffloadError(
+            f"recursive doubling needs a power-of-two communicator, got {comm_size}"
+        )
+    return algorithm
+
+
+# ----------------------------------------------------------------------
+# Ibcast: binomial tree
+# ----------------------------------------------------------------------
+def build_ibcast(ep: "OffloadEndpoint", addr: int, size: int, *,
+                 root: int = 0, comm_size: int,
+                 base_tag: int = TAG_BCAST) -> OffloadGroupRequest:
+    """Record a binomial-tree broadcast of ``[addr, addr+size)``.
+
+    Round ``k``: virtual ranks ``v < 2**k`` forward to ``v + 2**k``
+    (when that rank exists); ``v`` in ``[2**k, 2**(k+1))`` receive.
+    A rank's receive always precedes its forwards by at least one
+    barrier, so the tree pipelines without host involvement.  Returns
+    the sealed request (``Group_Offload_end`` already applied).
+    """
+    p = comm_size
+    me = ep.rank
+    v = (me - root) % p
+    rounds = (p - 1).bit_length()
+    greq = ep.group_start()
+    for k in range(rounds):
+        bit = 1 << k
+        if v < bit:
+            peer = v + bit
+            if peer < p:
+                ep.group_send(greq, addr, size, dst=(peer + root) % p,
+                              tag=base_tag + k)
+        elif v < (bit << 1):
+            ep.group_recv(greq, addr, size, src=(v - bit + root) % p,
+                          tag=base_tag + k)
+        if k != rounds - 1:
+            ep.group_barrier(greq)
+    ep.group_end(greq)
+    return greq
+
+
+# ----------------------------------------------------------------------
+# Iallgather: ring
+# ----------------------------------------------------------------------
+def build_iallgather(ep: "OffloadEndpoint", recv_addr: int, block_size: int, *,
+                     comm_size: int,
+                     base_tag: int = TAG_ALLGATHER) -> OffloadGroupRequest:
+    """Record a ring allgather into ``comm_size`` contiguous blocks.
+
+    The caller places this rank's own contribution at
+    ``recv_addr + rank * block_size`` **before** ``Group_Offload_call``;
+    round ``r`` then forwards block ``(me - r) % p`` to the right
+    neighbour while block ``(me - r - 1) % p`` arrives from the left,
+    directly into its final slot (no scratch copies).
+    """
+    p = comm_size
+    me = ep.rank
+    right, left = (me + 1) % p, (me - 1) % p
+    greq = ep.group_start()
+    for r in range(p - 1):
+        s_blk = (me - r) % p
+        r_blk = (me - r - 1) % p
+        ep.group_send(greq, recv_addr + s_blk * block_size, block_size,
+                      dst=right, tag=base_tag + r)
+        ep.group_recv(greq, recv_addr + r_blk * block_size, block_size,
+                      src=left, tag=base_tag + r)
+        if r != p - 2:
+            ep.group_barrier(greq)
+    ep.group_end(greq)
+    return greq
+
+
+# ----------------------------------------------------------------------
+# Iallreduce: recursive doubling / ring
+# ----------------------------------------------------------------------
+def build_iallreduce(ep: "OffloadEndpoint", addr: int, size: int, *,
+                     comm_size: int, algorithm: str = "auto",
+                     base_tag: int = TAG_ALLREDUCE,
+                     ) -> tuple[OffloadGroupRequest, Optional[int]]:
+    """Record an in-place sum-Iallreduce over ``size`` bytes of float64.
+
+    Returns ``(request, scratch_addr)``; the scratch region (``None``
+    when the pattern needs none, e.g. single-rank) holds the per-round
+    inbound partials and must stay allocated for the request's lifetime
+    -- re-calling the cached pattern reuses it.
+    """
+    if size % 8:
+        raise OffloadError("Iallreduce operates on float64 words "
+                           f"(size must be a multiple of 8, got {size})")
+    algo = allreduce_algorithm(comm_size, algorithm)
+    if algo == "rd":
+        return _build_allreduce_rd(ep, addr, size, comm_size, base_tag)
+    return _build_allreduce_ring(ep, addr, size, comm_size, base_tag)
+
+
+def _build_allreduce_rd(ep, addr, size, p, base_tag):
+    """Recursive doubling: ``log2 p`` rounds of pairwise exchange+fold."""
+    me = ep.rank
+    rounds = p.bit_length() - 1
+    greq = ep.group_start()
+    scratch = ep.ctx.space.alloc(size * rounds) if rounds else None
+    for k in range(rounds):
+        partner = me ^ (1 << k)
+        slot = scratch + k * size
+        ep.group_send(greq, addr, size, dst=partner, tag=base_tag + k)
+        ep.group_recv(greq, slot, size, src=partner, tag=base_tag + k)
+        # The barrier orders the partner's write before the fold; the
+        # fold (same segment) then precedes the next round's send, so
+        # each exchange ships an up-to-date partial.
+        ep.group_barrier(greq)
+        ep.group_reduce(greq, slot, addr, size)
+    ep.group_end(greq)
+    return greq, scratch
+
+
+def _build_allreduce_ring(ep, addr, size, p, base_tag):
+    """Ring reduce-scatter + ring allgather (any communicator size).
+
+    Chunks are word-granular: chunk ``i`` holds ``count // p`` words
+    plus one of the ``count % p`` remainder words.  A chunk emptied by
+    ``count < p`` is skipped on **both** its sender and its receiver
+    (the chunk index decides, identically on each side), so barrier
+    counts and counter epochs stay aligned across ranks.
+    """
+    me = ep.rank
+    count = size // 8
+    base, rem = divmod(count, p)
+
+    def cw(i: int) -> int:  # words in chunk i
+        return base + (1 if i < rem else 0)
+
+    def off(i: int) -> int:  # byte offset of chunk i
+        return (i * base + min(i, rem)) * 8
+
+    right, left = (me + 1) % p, (me - 1) % p
+    greq = ep.group_start()
+    rs_rounds = p - 1
+    slot_sizes = [cw((me - r - 1) % p) * 8 for r in range(rs_rounds)]
+    total_scratch = sum(slot_sizes)
+    scratch = ep.ctx.space.alloc(total_scratch) if total_scratch else None
+    slots, o = [], scratch or 0
+    for nb in slot_sizes:
+        slots.append(o)
+        o += nb
+
+    # Reduce-scatter: after round r, chunk (me - r - 1) % p is folded
+    # here; after all rounds this rank owns complete chunk (me + 1) % p.
+    for r in range(rs_rounds):
+        s_idx = (me - r) % p
+        r_idx = (me - r - 1) % p
+        snb, rnb = cw(s_idx) * 8, cw(r_idx) * 8
+        if snb:
+            ep.group_send(greq, addr + off(s_idx), snb, dst=right,
+                          tag=base_tag + r)
+        if rnb:
+            ep.group_recv(greq, slots[r], rnb, src=left, tag=base_tag + r)
+        ep.group_barrier(greq)
+        if rnb:
+            ep.group_reduce(greq, slots[r], addr + off(r_idx), rnb)
+
+    # Allgather: complete chunks circulate; inbound ones land straight
+    # in ``addr`` (their final place), no folding needed.
+    ag_base = base_tag + rs_rounds
+    for r in range(p - 1):
+        s_idx = (me + 1 - r) % p
+        r_idx = (me - r) % p
+        snb, rnb = cw(s_idx) * 8, cw(r_idx) * 8
+        if snb:
+            ep.group_send(greq, addr + off(s_idx), snb, dst=right,
+                          tag=ag_base + r)
+        if rnb:
+            ep.group_recv(greq, addr + off(r_idx), rnb, src=left,
+                          tag=ag_base + r)
+        if r != p - 2:
+            ep.group_barrier(greq)
+    ep.group_end(greq)
+    return greq, scratch

@@ -139,6 +139,8 @@ class GroupExecutor:
                 send_set.add(entry["dst"])
             elif kind == "recv":
                 recv_set.add(entry["src"])
+            elif kind == "reduce":
+                yield from self._exec_reduce(entry)
             elif kind == "barrier":
                 num_barriers += 1
                 yield ctx.consume(params.dpu_handler_cost * 0.5)
@@ -211,6 +213,32 @@ class GroupExecutor:
             raise StalePlanError(self.plan["plan_id"], exc) from exc
         return transfer.completed
 
+    def _exec_reduce(self, entry):
+        """One DPU-side accumulate: ``dst += src`` over float64 words.
+
+        Cost model: the ARM core streams both operands in and the
+        result out through the DPU's memory path (3 x size bytes) and
+        runs the adds at roughly a third of a host core's flop rate
+        (the BlueField-2 A72 ratio the module defaults encode).
+        """
+        engine = self.engine
+        params = engine.params
+        size = entry["size"]
+        count = size // 8
+        cost = (3 * size / params.dpu_memory_bandwidth
+                + 3 * count / params.host_flops_per_core)
+        yield engine.ctx.consume(cost)
+        cluster = engine.ctx.cluster
+        cluster.metrics.add("proxy.reduces")
+        cluster.metrics.add("proxy.reduced_bytes", size)
+        if cluster.payloads and count:
+            import numpy as np
+
+            space = cluster.rank_ctx(self.plan["host_rank"]).space
+            acc = space.read_as(entry["dst_addr"], np.float64, count)
+            inc = space.read_as(entry["addr"], np.float64, count)
+            space.write(entry["dst_addr"], acc + inc)
+
     def _flush_segment(self, pending, send_set, host_rank, epoch):
         """Wait for the segment's sends, then write counters to their peers.
 
@@ -244,9 +272,16 @@ class GroupExecutor:
             for entry in failed:
                 done = yield from self._post_send(entry)
                 pending.append((entry, done))
-        for dst in sorted(send_set):
-            seq = self.seqs[(host_rank, dst)]
-            yield from engine.write_counter_to(dst, (host_rank, dst, seq), epoch)
+        if engine.params.counter_doorbell_batch and len(send_set) > 1:
+            writes = [
+                (dst, (host_rank, dst, self.seqs[(host_rank, dst)]), epoch)
+                for dst in sorted(send_set)
+            ]
+            yield from engine.write_counters_batch(writes)
+        else:
+            for dst in sorted(send_set):
+                seq = self.seqs[(host_rank, dst)]
+                yield from engine.write_counter_to(dst, (host_rank, dst, seq), epoch)
 
     def _await_recvs(self, recv_set, host_rank, epoch):
         """Park until every expected peer's counter reaches ``epoch``."""

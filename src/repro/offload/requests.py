@@ -48,16 +48,19 @@ class OffloadRequest:
 class GroupOp:
     """One recorded entry of a group pattern (the paper's ``Group_op``)."""
 
-    #: "send" | "recv" | "barrier"
+    #: "send" | "recv" | "barrier" | "reduce"
     kind: str
     addr: int = 0
     size: int = 0
     #: Destination rank (send) / source rank (recv); -1 for barriers.
     peer: int = -1
     tag: int = 0
+    #: Second address operand: the accumulator of a "reduce" op
+    #: (``addr`` is then the source the DPU folds in); 0 otherwise.
+    addr2: int = 0
 
     def signature(self) -> tuple:
-        return (self.kind, self.addr, self.size, self.peer, self.tag)
+        return (self.kind, self.addr, self.size, self.peer, self.tag, self.addr2)
 
 
 @dataclass

@@ -1,0 +1,292 @@
+"""Offloaded collectives: differential correctness and the CPU invariant.
+
+Three guarantees for the ``repro.offload.collectives`` builders:
+
+1. **Byte-identity against host MPI.**  An offloaded Ibcast /
+   Iallgather / Iallreduce must deposit exactly the bytes the host-MPI
+   collective deposits, in both gvmi and staged transport modes and at
+   non-power-of-two communicator sizes.  Reductions use integer-valued
+   float64 payloads, so the sum is exact in any association order and
+   "same result" genuinely means byte-identical.
+2. **Fluid-vs-exact equivalence.**  At collective scale the fluid
+   engine must reproduce the exact event engine's completion times
+   within ``FLUID_RTOL`` (barrier lockstep leaves each bulk flow alone
+   on its link, where the rate solver lands on the event engine's own
+   timestamps -- measured deviation is exactly zero).
+3. **Zero host CPU inside the window.**  Between ``Group_Offload_call``
+   and ``Group_Wait`` the whole DAG runs on the DPUs: the trace
+   invariant that flags host spans inside offloaded windows must stay
+   silent for every rank of a full collective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.helpers import run_procs
+from repro.hw import Cluster, ClusterSpec
+from repro.hw.trace import Tracer
+from repro.mpi import MpiWorld
+from repro.mpi import collectives as host_coll
+from repro.obs import EventBus, trace_violations
+from repro.offload import (
+    OffloadFramework,
+    allreduce_algorithm,
+    build_iallgather,
+    build_iallreduce,
+    build_ibcast,
+)
+
+#: Matches tests/test_fluid_differential.py: six orders of magnitude of
+#: margin over the worst measured fluid deviation.
+FLUID_RTOL = 1e-9
+
+MODES = ["gvmi", "staged"]
+SIZES = [3, 4, 5]
+
+
+def _cluster(p: int, **spec_kw) -> Cluster:
+    return Cluster(ClusterSpec(nodes=p, ppn=1, **spec_kw))
+
+
+def _contrib(p: int, count: int) -> list[np.ndarray]:
+    """Integer-valued float64 payloads: exact sums, any order."""
+    return [np.arange(count, dtype=np.float64) * (r + 1) + 2 * r
+            for r in range(p)]
+
+
+# ----------------------------------------------------------------------
+# offloaded runners: return {rank: result ndarray} and the finish time
+# ----------------------------------------------------------------------
+def _offload_bcast(p, data, root=0, mode="gvmi", **spec_kw):
+    cl = _cluster(p, **spec_kw)
+    fw = OffloadFramework(cl, mode=mode)
+    out = {}
+
+    def prog(rank):
+        ep = fw.endpoint(rank)
+        if rank == root:
+            addr = ep.ctx.space.alloc_like(data)
+        else:
+            addr = ep.ctx.space.alloc(data.nbytes)
+        greq = build_ibcast(ep, addr, data.nbytes, root=root, comm_size=p)
+        yield from ep.group_call(greq)
+        yield from ep.group_wait(greq)
+        out[rank] = ep.ctx.space.read_as(addr, np.float64, len(data)).copy()
+        return cl.sim.now
+
+    t = run_procs(cl, [prog(r) for r in range(p)])
+    return out, max(t)
+
+
+def _offload_allgather(p, blocks, mode="gvmi", **spec_kw):
+    cl = _cluster(p, **spec_kw)
+    fw = OffloadFramework(cl, mode=mode)
+    blk = blocks[0].nbytes
+    words = p * len(blocks[0])
+    out = {}
+
+    def prog(rank):
+        ep = fw.endpoint(rank)
+        addr = ep.ctx.space.alloc(p * blk)
+        ep.ctx.space.write(addr + rank * blk, blocks[rank])
+        greq = build_iallgather(ep, addr, blk, comm_size=p)
+        yield from ep.group_call(greq)
+        yield from ep.group_wait(greq)
+        out[rank] = ep.ctx.space.read_as(addr, np.float64, words).copy()
+        return cl.sim.now
+
+    t = run_procs(cl, [prog(r) for r in range(p)])
+    return out, max(t)
+
+
+def _offload_allreduce(p, vals, algorithm="auto", mode="gvmi", **spec_kw):
+    cl = _cluster(p, **spec_kw)
+    fw = OffloadFramework(cl, mode=mode)
+    count = len(vals[0])
+    out = {}
+
+    def prog(rank):
+        ep = fw.endpoint(rank)
+        addr = ep.ctx.space.alloc_like(vals[rank])
+        greq, _scratch = build_iallreduce(
+            ep, addr, count * 8, comm_size=p, algorithm=algorithm)
+        yield from ep.group_call(greq)
+        yield from ep.group_wait(greq)
+        out[rank] = ep.ctx.space.read_as(addr, np.float64, count).copy()
+        return cl.sim.now
+
+    t = run_procs(cl, [prog(r) for r in range(p)])
+    return out, max(t)
+
+
+# ----------------------------------------------------------------------
+# host-MPI reference runners
+# ----------------------------------------------------------------------
+def _host_bcast(p, data, root=0):
+    world = MpiWorld(_cluster(p))
+    out = {}
+
+    def prog(rt):
+        if rt.rank == root:
+            addr = rt.ctx.space.alloc_like(data)
+        else:
+            addr = rt.ctx.space.alloc(data.nbytes)
+        yield from host_coll.bcast(rt, world.comm_world, root, addr,
+                                   data.nbytes)
+        out[rt.rank] = rt.ctx.space.read_as(
+            addr, np.float64, len(data)).copy()
+
+    world.run(prog)
+    return out
+
+
+def _host_allgather(p, blocks):
+    world = MpiWorld(_cluster(p))
+    blk = blocks[0].nbytes
+    words = p * len(blocks[0])
+    out = {}
+
+    def prog(rt):
+        sa = rt.ctx.space.alloc_like(blocks[rt.rank])
+        ra = rt.ctx.space.alloc(p * blk)
+        yield from host_coll.allgather(rt, world.comm_world, sa, ra, blk)
+        out[rt.rank] = rt.ctx.space.read_as(ra, np.float64, words).copy()
+
+    world.run(prog)
+    return out
+
+
+def _host_allreduce(p, vals):
+    world = MpiWorld(_cluster(p))
+    count = len(vals[0])
+    out = {}
+
+    def prog(rt):
+        addr = rt.ctx.space.alloc_like(vals[rt.rank])
+        yield from host_coll.allreduce(rt, world.comm_world, addr, count * 8)
+        out[rt.rank] = rt.ctx.space.read_as(
+            addr, np.float64, count).copy()
+
+    world.run(prog)
+    return out
+
+
+# ----------------------------------------------------------------------
+class TestByteIdenticalToHostMpi:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("p", SIZES)
+    def test_ibcast(self, p, mode):
+        data = np.arange(384, dtype=np.float64) * 5 + 1
+        root = p // 2
+        off, _ = _offload_bcast(p, data, root=root, mode=mode)
+        host = _host_bcast(p, data, root=root)
+        for r in range(p):
+            assert off[r].tobytes() == host[r].tobytes(), f"rank {r}"
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("p", SIZES)
+    def test_iallgather(self, p, mode):
+        blocks = _contrib(p, 48)
+        off, _ = _offload_allgather(p, blocks, mode=mode)
+        host = _host_allgather(p, blocks)
+        for r in range(p):
+            assert off[r].tobytes() == host[r].tobytes(), f"rank {r}"
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("p", SIZES)
+    def test_iallreduce(self, p, mode):
+        vals = _contrib(p, 64)
+        off, _ = _offload_allreduce(p, vals, mode=mode)
+        host = _host_allreduce(p, vals)
+        for r in range(p):
+            assert off[r].tobytes() == host[r].tobytes(), f"rank {r}"
+
+
+class TestAlgorithmsAndEdges:
+    def test_auto_picks_rd_on_pow2_ring_otherwise(self):
+        assert allreduce_algorithm(8, "auto") == "rd"
+        assert allreduce_algorithm(6, "auto") == "ring"
+
+    @pytest.mark.parametrize("p", [3, 5, 6])
+    def test_ring_allreduce_non_pow2(self, p):
+        vals = _contrib(p, 100)
+        ref = np.sum(vals, axis=0)
+        off, _ = _offload_allreduce(p, vals, algorithm="ring")
+        for r in range(p):
+            assert off[r].tobytes() == ref.tobytes(), f"rank {r}"
+
+    @pytest.mark.parametrize("p", [5, 6])
+    def test_ring_allreduce_fewer_words_than_ranks(self, p):
+        # count < p leaves some ring chunks empty; the zero-byte sends
+        # must be skipped symmetrically or the barrier epochs misalign.
+        vals = _contrib(p, 3)
+        ref = np.sum(vals, axis=0)
+        off, _ = _offload_allreduce(p, vals, algorithm="ring")
+        for r in range(p):
+            assert off[r].tobytes() == ref.tobytes(), f"rank {r}"
+
+    def test_single_rank_collectives(self):
+        data = np.arange(32, dtype=np.float64)
+        off, _ = _offload_bcast(1, data)
+        assert off[0].tobytes() == data.tobytes()
+        off, _ = _offload_allgather(1, [data])
+        assert off[0].tobytes() == data.tobytes()
+        off, _ = _offload_allreduce(1, [data])
+        assert off[0].tobytes() == data.tobytes()
+
+
+class TestFluidVsExact:
+    @pytest.mark.parametrize("algorithm,nbytes", [
+        ("rd", 512 * 1024),        # every round moves one >threshold flow
+        ("ring", 4 * 1024 * 1024),  # per-chunk flows, 8 ranks x 512KiB
+    ])
+    def test_completion_time_within_rtol(self, algorithm, nbytes):
+        p = 8
+        vals = _contrib(p, nbytes // 8)
+        ref = np.sum(vals, axis=0)
+        exact, t_exact = _offload_allreduce(
+            p, vals, algorithm=algorithm, fluid=False, slim=True)
+        fluid, t_fluid = _offload_allreduce(
+            p, vals, algorithm=algorithm, fluid=True, slim=True)
+        assert abs(t_fluid - t_exact) <= FLUID_RTOL * t_exact
+        for r in range(p):
+            assert exact[r].tobytes() == ref.tobytes()
+            assert fluid[r].tobytes() == ref.tobytes()
+
+
+class TestZeroHostCpuWindow:
+    @pytest.mark.parametrize("builder", ["bcast", "allgather", "allreduce"])
+    def test_no_host_spans_inside_offloaded_window(self, builder):
+        p = 4
+        cl = _cluster(p, slim=True)
+        bus = EventBus.attach(cl)
+        tracer = Tracer.attach(cl)
+        fw = OffloadFramework(cl)
+        vals = _contrib(p, 64)
+
+        def prog(rank):
+            ep = fw.endpoint(rank)
+            if builder == "bcast":
+                addr = ep.ctx.space.alloc_like(vals[0])
+                greq = build_ibcast(ep, addr, vals[0].nbytes, comm_size=p)
+            elif builder == "allgather":
+                blk = vals[rank].nbytes
+                addr = ep.ctx.space.alloc(p * blk)
+                ep.ctx.space.write(addr + rank * blk, vals[rank])
+                greq = build_iallgather(ep, addr, blk, comm_size=p)
+            else:
+                addr = ep.ctx.space.alloc_like(vals[rank])
+                greq, _ = build_iallreduce(
+                    ep, addr, vals[rank].nbytes, comm_size=p)
+            yield from ep.group_call(greq)
+            yield from ep.group_wait(greq)
+            return True
+
+        run_procs(cl, [prog(r) for r in range(p)])
+        # Every rank opened and closed a window...
+        assert len(bus.select(cat="group", name="offloaded")) == p
+        assert len(bus.select(cat="group", name="done")) == p
+        # ...and no host lane burned CPU inside any of them.
+        assert trace_violations(bus, tracer) == []
