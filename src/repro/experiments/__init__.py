@@ -30,6 +30,7 @@ ALL_FIGURES = [
     "fig16_p3dfft",
     "fig17_hpl",
     "fig18_collective_scaling",
+    "fig19_congestion",
 ]
 
 __all__ = ["ALL_FIGURES", "FigureResult", "Series", "ShapeCheck"]

@@ -102,6 +102,7 @@ FIGURE_GROUPS: list[list[str]] = [
     ["fig15_group_vs_simple"],
     ["fig16_p3dfft"],
     ["fig17_hpl"],
+    ["fig19_congestion"],
 ]
 
 

@@ -31,6 +31,13 @@ from repro.hw.fluid import (
     set_default_fluid,
     using_fluid,
 )
+from repro.hw.topology import (
+    FatTreeTopology,
+    PATH_SELECTORS,
+    ecmp_hash,
+    resolve_topology_spec,
+    using_topology,
+)
 from repro.hw.node import Node, ProcessContext
 from repro.hw.cluster import Cluster
 from repro.hw.metrics import Metrics
@@ -43,8 +50,10 @@ __all__ = [
     "default_fluid",
     "default_fluid_threshold",
     "Delivery",
+    "ecmp_hash",
     "engine_mode",
     "Fabric",
+    "FatTreeTopology",
     "FaultPlan",
     "FaultSpec",
     "Hca",
@@ -55,9 +64,12 @@ __all__ = [
     "Node",
     "OFFLOAD_CONTROL_KINDS",
     "PAGE_SIZE",
+    "PATH_SELECTORS",
     "ProcessContext",
     "ProxyKillPlan",
     "RetryPolicy",
+    "resolve_topology_spec",
     "set_default_fluid",
     "using_fluid",
+    "using_topology",
 ]

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.hw.fabric import Fabric
 from repro.hw.fluid import resolve_fluid
+from repro.hw.topology import FatTreeTopology, resolve_topology_spec
 from repro.hw.metrics import Metrics
 from repro.hw.node import Node, ProcessContext
 from repro.hw.params import ClusterSpec
@@ -76,6 +77,10 @@ class Cluster:
     """
 
     def __init__(self, spec: ClusterSpec):
+        # Ambient fat-tree overrides (repro.hw.topology.using_topology /
+        # REPRO_NODES_PER_SWITCH ...) land only on fields the spec left
+        # at defaults; with none set this is the spec itself, unchanged.
+        spec = resolve_topology_spec(spec)
         self.spec = spec
         self.params = spec.params
         self.sim = Simulator()
@@ -111,10 +116,18 @@ class Cluster:
         #: mode leaves ``fabric.flow_engine`` as None, so every existing
         #: code path is untouched byte for byte.
         self.fluid, self.fluid_threshold = resolve_fluid(spec)
+        #: Explicit leaf/spine link graph (fluid mode with
+        #: ``nodes_per_switch > 0``); None keeps flows endpoint-only.
+        self.topology = None
         if self.fluid:
             engine = FlowEngine(self.sim, threshold=self.fluid_threshold)
             self.sim.attach_flow_engine(engine)
-            self.fabric.attach_flow_engine(engine, self.fluid_threshold)
+            if spec.nodes_per_switch > 0:
+                rng = (self.rng.stream("ecmp-paths")
+                       if spec.path_selector == "random" else None)
+                self.topology = FatTreeTopology(spec, rng=rng)
+            self.fabric.attach_flow_engine(engine, self.fluid_threshold,
+                                           topology=self.topology)
         elif spec.chunk_bytes:
             # Chunk-granularity event pricing (exact mode only: fluid
             # routes the same bulk transfers through the FlowEngine

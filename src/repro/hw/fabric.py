@@ -63,6 +63,11 @@ class Delivery:
     #: offload proxy's CQE accounting, the differential harness -- tell
     #: flow-completed CQEs apart without changing any timing.
     via: str = "event"
+    #: Link keys the bytes crossed, in order (fluid mode with a
+    #: fat-tree topology attached: ``(("tx", s), ("up", l, k),
+    #: ("down", k, l'), ("rx", d))``).  ``None`` on the event path and
+    #: on endpoint-only fluid runs.
+    path: Any = None
 
 
 @dataclass
@@ -344,7 +349,7 @@ class _FlowState:
         "src_hca", "src_node", "dst_node", "size", "kind", "meta",
         "on_deliver", "t_posted", "xid", "delivered", "completed",
         "latency", "tail", "fid", "status", "extra_delay", "attempt",
-        "drop_remaining", "owner",
+        "drop_remaining", "owner", "path",
     )
 
     def __init__(self, src_hca, src_node, dst_node, size, kind, meta,
@@ -377,6 +382,9 @@ class _FlowState:
         #: Opaque owner handle (the posting ProcessContext); lets a
         #: proxy kill abort the flows it had in flight.
         self.owner = None
+        #: Link keys the current flow crosses (topology mode); None on
+        #: endpoint-only runs.  Captured into the Delivery.
+        self.path = None
 
 
 class Fabric:
@@ -400,6 +408,9 @@ class Fabric:
         #: Optional :class:`~repro.sim.flows.FlowEngine` (fluid hybrid
         #: mode); None keeps every transfer on the exact chunk FSM.
         self.flow_engine = None
+        #: Optional :class:`~repro.hw.topology.FatTreeTopology`; set by
+        #: attach_flow_engine.  None keeps flows endpoint-only.
+        self.topology = None
         #: Byte threshold above which data transfers become flows when
         #: a flow engine is attached.
         self.fluid_threshold = 0
@@ -417,11 +428,26 @@ class Fabric:
         # hop count never needs recomputing per message.
         self._lat_cache: dict[tuple[int, int], float] = {}
 
-    def attach_flow_engine(self, engine, threshold: int) -> None:
+    def attach_flow_engine(self, engine, threshold: int,
+                           topology=None) -> None:
         """Enable fluid hybrid mode: bulk transfers >= ``threshold`` bytes
-        become rate-shared flows; everything else stays event-exact."""
+        become rate-shared flows; everything else stays event-exact.
+
+        With a :class:`~repro.hw.topology.FatTreeTopology` attached,
+        every flow additionally carries an explicit link path (tx port,
+        spine up/down links, rx port) and the engine water-fills over
+        the full flow x link incidence; the fabric then also tracks
+        per-link utilization and surfaces ``link.congested`` /
+        ``link.clear`` obs events on contention edges.  ``None``
+        (default) keeps the endpoint-only engine bit-identical.
+        """
         self.flow_engine = engine
         self.fluid_threshold = threshold
+        self.topology = topology
+        if topology is not None:
+            topology.register_links(engine)
+            engine.util_enabled = True
+            engine.on_congestion = self._on_link_congestion
 
     def one_way_latency(self, src_node: int, dst_node: int) -> float:
         lat = self._lat_cache.get((src_node, dst_node))
@@ -639,15 +665,32 @@ class Fabric:
             if action == "drop":
                 st.drop_remaining = work * (1.0 - frac)
                 work = work * frac
-        flow = engine.add_flow(tx=("tx", st.src_node),
-                               rx=("rx", st.dst_node),
-                               work=work, finish=self._flow_drained, tag=st)
+        topo = self.topology
+        if topo is not None:
+            path = topo.path(st.src_node, st.dst_node)
+            flow = engine.add_flow(path=path, work=work,
+                                   finish=self._flow_drained, tag=st)
+            st.path = path
+        else:
+            flow = engine.add_flow(tx=("tx", st.src_node),
+                                   rx=("rx", st.dst_node),
+                                   work=work, finish=self._flow_drained,
+                                   tag=st)
         st.fid = flow.fid
         bus = self.bus
         if bus is not None:
             bus.emit("flow", "begin", f"flow{flow.fid}", fid=flow.fid,
                      xid=st.xid, kind=st.kind, size=st.size,
                      src=st.src_node, dst=st.dst_node, attempt=st.attempt)
+
+    def _on_link_congestion(self, key, congested: bool, nflows: int) -> None:
+        """FlowEngine congestion hook: count + surface contention edges."""
+        if congested and self.hcas:
+            self.hcas[0].metrics.add("fabric.link_congested")
+        bus = self.bus
+        if bus is not None:
+            bus.emit("link", "congested" if congested else "clear",
+                     "fabric", link=str(key), nflows=nflows)
 
     def _flow_drained(self, flow, t_drain: float) -> None:
         """FlowEngine finish callback: close the window, arm the tail.
@@ -750,7 +793,7 @@ class Fabric:
         dv = Delivery(
             src_node=st.src_node, dst_node=st.dst_node, size=st.size,
             kind=st.kind, meta=st.meta, time=sim.now, status=st.status,
-            via="flow",
+            via="flow", path=st.path,
         )
         # An error CQE moves no bytes: skip the payload callback.
         if st.on_deliver is not None and st.status == "ok":

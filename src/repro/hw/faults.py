@@ -310,30 +310,51 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class LinkWindow:
-    """One link-degradation window on a node's tx or rx endpoint.
+    """One link-degradation window on a fabric link.
 
-    ``factor`` scales the endpoint's port capacity for the window's
-    duration: 0.5 halves the achievable rate of every flow crossing the
-    endpoint, 0.0 is a *flap* (the link is down; flows stall and resume
-    at restore).  Windows on the same endpoint may overlap -- the
-    effective capacity is the minimum over open windows.
+    Target either a node endpoint (``node`` + ``direction``, the
+    original form) or -- with a fat-tree topology attached -- any
+    explicit link by its key (``link=("up", leaf, spine)`` etc.; see
+    ``repro.hw.topology``).  ``factor`` scales the link's *base*
+    capacity for the window's duration: 0.5 halves the achievable rate
+    of every flow crossing the link, 0.0 is a *flap* (the link is down;
+    flows stall and resume at restore).  Windows on the same link may
+    overlap -- the effective capacity is ``base * min(open factors)``.
     """
 
-    node: int
-    direction: str  # "tx" or "rx"
-    start: float
-    duration: float
-    factor: float
+    node: int = -1
+    direction: str = "tx"  # "tx" or "rx"
+    start: float = 0.0
+    duration: float = 0.0
+    factor: float = 0.0
+    #: Explicit link key; when set, ``node``/``direction`` are ignored.
+    link: Optional[tuple] = None
 
     def __post_init__(self):
-        if self.direction not in ("tx", "rx"):
-            raise ValueError(f"direction must be 'tx' or 'rx', "
-                             f"got {self.direction!r}")
+        if self.link is not None:
+            if not isinstance(self.link, tuple) or len(self.link) < 2:
+                raise ValueError(
+                    f"link must be a link-key tuple like ('up', leaf, "
+                    f"spine), got {self.link!r}"
+                )
+        else:
+            if self.node < 0:
+                raise ValueError("window needs a node (or an explicit link)")
+            if self.direction not in ("tx", "rx"):
+                raise ValueError(f"direction must be 'tx' or 'rx', "
+                                 f"got {self.direction!r}")
         if self.start < 0.0 or self.duration <= 0.0:
             raise ValueError("window start must be >= 0 and duration > 0")
         if not 0.0 <= self.factor < 1.0:
             raise ValueError(f"degrade factor must be in [0, 1), "
                              f"got {self.factor!r}")
+
+    @property
+    def key(self) -> tuple:
+        """The engine link key this window degrades."""
+        if self.link is not None:
+            return self.link
+        return (self.direction, self.node)
 
 
 class LinkDegradePlan:
@@ -399,10 +420,30 @@ class LinkDegradePlan:
             self.bus = cluster.bus
         registry = RngRegistry(self.seed) if self.seed is not None else cluster.rng
         rng = registry.stream("link-degrade")
+        # With a multi-leaf fat-tree attached, sampled windows also land
+        # on spine up/down links (uniform over every link in the graph);
+        # endpoint-only clusters keep the original draw sequence, so
+        # existing seeded schedules replay byte-identically.
+        topo = getattr(cluster, "topology", None)
+        spine_links: list[tuple] = []
+        if topo is not None and topo.n_leaves > 1:
+            for leaf in range(topo.n_leaves):
+                for s in range(topo.spine_count):
+                    spine_links.append(("up", leaf, s))
+                    spine_links.append(("down", s, leaf))
         windows = list(self.windows)
         for _ in range(self.count):
-            node = int(rng.integers(0, cluster.spec.nodes))
-            direction = "tx" if float(rng.random()) < 0.5 else "rx"
+            if spine_links:
+                n_ep = 2 * cluster.spec.nodes
+                idx = int(rng.integers(0, n_ep + len(spine_links)))
+                link = None if idx < n_ep else spine_links[idx - n_ep]
+                node = idx // 2 if idx < n_ep else -1
+                direction = ("tx" if idx % 2 == 0 else "rx") \
+                    if idx < n_ep else "tx"
+            else:
+                link = None
+                node = int(rng.integers(0, cluster.spec.nodes))
+                direction = "tx" if float(rng.random()) < 0.5 else "rx"
             start = float(rng.random()) * self.horizon
             lo, hi = self.duration_range
             duration = lo + float(rng.random()) * max(0.0, hi - lo)
@@ -411,8 +452,10 @@ class LinkDegradePlan:
             else:
                 flo, fhi = self.factor_range
                 factor = flo + float(rng.random()) * max(0.0, fhi - flo)
-            windows.append(LinkWindow(node, direction, start, duration, factor))
-        windows.sort(key=lambda w: (w.start, w.node, w.direction))
+            windows.append(LinkWindow(node, direction, start, duration,
+                                      factor, link=link))
+        windows.sort(key=lambda w: (w.start, w.node, w.direction,
+                                    () if w.link is None else w.link))
         self.windows = tuple(windows)
         for wid, w in enumerate(self.windows):
             self._arm_window(wid, w)
@@ -435,35 +478,56 @@ class LinkDegradePlan:
         factors = self._open.get(key)
         return min(factors) if factors else 1.0
 
+    def _apply(self, key: tuple) -> None:
+        # The engine stores absolute capacities, so degrade factors
+        # compose with the link's registered base (a half-capacity spine
+        # uplink degraded to 0.5 runs at 0.25 port-shares); with no open
+        # window this restores the base exactly, clearing the override.
+        base = self._engine.base_capacity(key)
+        self._engine.set_endpoint_capacity(key, base * self._effective(key))
+
+    @staticmethod
+    def _describe(w: LinkWindow) -> str:
+        if w.link is not None:
+            return " ".join(str(part) for part in w.link)
+        return f"{w.direction} n{w.node}"
+
     def _degrade(self, wid: int, w: LinkWindow) -> None:
-        key = (w.direction, w.node)
+        key = w.key
         self._open.setdefault(key, []).append(w.factor)
-        self._engine.set_endpoint_capacity(key, self._effective(key))
+        self._apply(key)
         self.stats["degrades"] += 1
         self._metrics.add("fabric.link_degrades")
         now = self.sim.now
         self.events.append((round(now, 12), "degrade",
-                            f"{w.direction} n{w.node} factor={w.factor:.3f}"))
+                            f"{self._describe(w)} factor={w.factor:.3f}"))
         if self.bus is not None:
-            self.bus.emit("link", "degrade", f"node{w.node}", wid=wid,
-                          node=w.node, direction=w.direction,
-                          factor=w.factor)
+            if w.link is not None:
+                self.bus.emit("link", "degrade", "fabric", wid=wid,
+                              link=str(key), factor=w.factor)
+            else:
+                self.bus.emit("link", "degrade", f"node{w.node}", wid=wid,
+                              node=w.node, direction=w.direction,
+                              factor=w.factor)
 
     def _restore(self, wid: int, w: LinkWindow) -> None:
-        key = (w.direction, w.node)
+        key = w.key
         factors = self._open.get(key)
         if factors is not None:
             factors.remove(w.factor)
             if not factors:
                 del self._open[key]
-        self._engine.set_endpoint_capacity(key, self._effective(key))
+        self._apply(key)
         self.stats["restores"] += 1
         now = self.sim.now
-        self.events.append((round(now, 12), "restore",
-                            f"{w.direction} n{w.node}"))
+        self.events.append((round(now, 12), "restore", self._describe(w)))
         if self.bus is not None:
-            self.bus.emit("link", "restore", f"node{w.node}", wid=wid,
-                          node=w.node, direction=w.direction)
+            if w.link is not None:
+                self.bus.emit("link", "restore", "fabric", wid=wid,
+                              link=str(key))
+            else:
+                self.bus.emit("link", "restore", f"node{w.node}", wid=wid,
+                              node=w.node, direction=w.direction)
 
     def trace(self) -> tuple:
         """Immutable audit trail; byte-identical across reruns of one seed."""

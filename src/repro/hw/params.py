@@ -254,8 +254,25 @@ class ClusterSpec:
     seed: int = 0
     #: Nodes per leaf switch.  0 (default) = the paper's single-switch
     #: topology; a positive value builds a two-level leaf/spine fabric
-    #: where cross-leaf traffic pays two extra switch hops.
+    #: where cross-leaf traffic pays two extra switch hops and, in
+    #: fluid mode, contends on an explicit leaf/spine link graph
+    #: (see ``repro.hw.topology``).
     nodes_per_switch: int = 0
+    #: Equal-cost leaf<->spine uplinks per leaf (= number of spine
+    #: switches).  Only meaningful with ``nodes_per_switch > 0``; the
+    #: default single uplink makes every cross-leaf flow share one
+    #: spine path.
+    spine_count: int = 1
+    #: Capacity of each leaf<->spine link, in units of one node port's
+    #: capacity.  ``nodes_per_switch / (spine_count * uplink_capacity)``
+    #: is the tree's oversubscription ratio; the default 1.0 matches
+    #: one host port per uplink.
+    uplink_capacity: float = 1.0
+    #: How cross-leaf flows pick among the ``spine_count`` equal-cost
+    #: uplinks: ``"ecmp"`` (deterministic per-pair hash, the default),
+    #: ``"random"`` (seeded per-flow choice) or ``"least"`` (per-flow
+    #: least-loaded).  See ``repro.hw.topology.PATH_SELECTORS``.
+    path_selector: str = "ecmp"
     #: Fluid-flow hybrid mode (docs/PERFORMANCE.md): ``True`` routes
     #: bulk transfers above :attr:`fluid_threshold` into the rate-shared
     #: :class:`~repro.sim.flows.FlowEngine`; ``False`` forces the exact
@@ -297,6 +314,15 @@ class ClusterSpec:
             raise ValueError("need at least one proxy per DPU")
         if self.proxies_per_dpu > self.dpu_cores:
             raise ValueError("more proxies than DPU cores")
+        if self.spine_count < 1:
+            raise ValueError("need at least one spine uplink")
+        if self.uplink_capacity <= 0.0:
+            raise ValueError("uplink_capacity must be positive")
+        if self.path_selector not in ("ecmp", "random", "least"):
+            raise ValueError(
+                f"unknown path_selector {self.path_selector!r}; "
+                f"expected 'ecmp', 'random' or 'least'"
+            )
         if self.fluid_threshold is not None and self.fluid_threshold < 1:
             raise ValueError("fluid_threshold must be at least one byte")
         if self.chunk_bytes is not None and self.chunk_bytes < 0:

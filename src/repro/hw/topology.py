@@ -1,0 +1,288 @@
+"""Explicit fat-tree link graph for the fluid contention fabric.
+
+:class:`~repro.hw.params.ClusterSpec`'s leaf/spine fields describe the
+*latency* topology (how many switch hops a message pays).  This module
+materializes the matching *capacity* topology: a two-level fat-tree
+link graph whose links the fluid engine water-fills max-min fairly
+(see :func:`repro.sim.flows.fair_shares_links`).
+
+Links
+-----
+Every link is identified by a small hashable key, interned to a dense
+id by the :class:`~repro.sim.flows.FlowEngine`:
+
+``("tx", node)``
+    the node's NIC -> leaf uplink (capacity 1.0 port-share).  Same key
+    the endpoint-only engine has always used for a flow's source.
+``("rx", node)``
+    the leaf -> NIC downlink (capacity 1.0).  Same key as the
+    endpoint-only destination.
+``("up", leaf, spine)`` / ``("down", spine, leaf)``
+    one of ``spine_count`` equal-cost leaf<->spine links, capacity
+    ``uplink_capacity`` port-shares each (>1.0 models oversubscribed
+    hosts on a fat uplink; <1.0 models a tapered/oversubscribed tree).
+
+Paths
+-----
+A flow's path is the ordered tuple of link keys it crosses:
+
+* same leaf (or single-switch): ``(tx, rx)`` -- the degenerate two-link
+  path, which keeps the engine on its endpoint-only fast solver, bit
+  for bit identical to the pre-topology behaviour.
+* cross-leaf: ``(tx, up, down, rx)`` through one spine chosen by the
+  cluster's *path selector*.
+
+Path selectors
+--------------
+``"ecmp"`` (default)
+    deterministic hash of the (src, dst) node pair -- an arithmetic
+    splitmix-style mix, **not** Python's ``hash()``, so the choice is
+    identical across seeds, interpreter restarts and
+    ``PYTHONHASHSEED``.  All flows of a pair share a path, like a real
+    switch hashing a 5-tuple.
+``"random"``
+    per-flow uniform choice from the cluster's seeded
+    ``"ecmp-paths"`` stream (reproducible per seed, varies per flow).
+``"least"``
+    per-flow least-loaded choice: the spine whose up+down links carry
+    the fewest in-flight flows right now (ties -> lowest spine id).
+
+Ambient overrides
+-----------------
+Like ``repro.hw.fluid``, the topology can be switched on ambiently for
+a whole campaign without touching any committed figure config:
+``using_topology(nodes_per_switch=..., spine_count=...)`` (or the
+``REPRO_NODES_PER_SWITCH`` / ``REPRO_SPINE_COUNT`` /
+``REPRO_PATH_SELECTOR`` / ``REPRO_UPLINK_CAPACITY`` environment
+variables) apply to every spec whose own fields were left at their
+defaults.  With no override set, specs pass through untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Callable, Optional
+
+__all__ = [
+    "FatTreeTopology",
+    "PATH_SELECTORS",
+    "ecmp_hash",
+    "make_selector",
+    "resolve_topology_spec",
+    "using_topology",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def ecmp_hash(src: int, dst: int) -> int:
+    """Deterministic 64-bit mix of a (src, dst) pair.
+
+    A splitmix64-style finalizer over the pair: stable across
+    processes, seeds and ``PYTHONHASHSEED`` (unlike ``hash()``), cheap,
+    and well-spread for the small consecutive integers node ids are.
+    """
+    h = (src * 0x9E3779B97F4A7C15 + dst * 0xBF58476D1CE4E5B9 + 0x2545F4914F6CDD1D) & _MASK64
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK64
+    h ^= h >> 27
+    h = (h * 0x94D049BB133111EB) & _MASK64
+    h ^= h >> 31
+    return h
+
+
+class FatTreeTopology:
+    """Two-level leaf/spine link graph over a :class:`ClusterSpec`.
+
+    Pure structure + path selection; owns no simulation state.  The
+    cluster registers the graph's non-unit link capacities with the
+    flow engine (:meth:`register_links`) and the fabric asks
+    :meth:`path` for each bulk flow's link list.
+    """
+
+    def __init__(self, spec, *, selector: Optional[str] = None, rng=None):
+        self.spec = spec
+        nps = spec.nodes_per_switch
+        if nps <= 0:
+            nps = spec.nodes  # single-switch: one leaf covering every node
+        self.nodes_per_switch = nps
+        self.n_leaves = (spec.nodes + nps - 1) // nps
+        self.spine_count = max(1, getattr(spec, "spine_count", 1))
+        self.uplink_capacity = float(getattr(spec, "uplink_capacity", 1.0))
+        name = selector if selector is not None \
+            else getattr(spec, "path_selector", "ecmp")
+        self.selector_name = name
+        self._engine = None
+        self._choose = make_selector(name, self, rng=rng)
+
+    # -- structure -------------------------------------------------------
+    def leaf_of_node(self, node: int) -> int:
+        return node // self.nodes_per_switch
+
+    def links(self) -> list[tuple[tuple, float]]:
+        """Every (link key, base capacity) pair in the graph."""
+        out: list[tuple[tuple, float]] = []
+        for n in range(self.spec.nodes):
+            out.append((("tx", n), 1.0))
+            out.append((("rx", n), 1.0))
+        if self.n_leaves > 1:
+            for leaf in range(self.n_leaves):
+                for s in range(self.spine_count):
+                    out.append((("up", leaf, s), self.uplink_capacity))
+                    out.append((("down", s, leaf), self.uplink_capacity))
+        return out
+
+    def register_links(self, engine) -> None:
+        """Declare the graph's link capacities to a flow engine.
+
+        Only non-unit capacities are registered (unit links are the
+        engine's default), so a default fat-tree leaves the solver's
+        all-ones fast path untouched.
+        """
+        self._engine = engine
+        for key, cap in self.links():
+            if cap != 1.0:
+                engine.register_link(key, cap)
+
+    # -- path selection --------------------------------------------------
+    def path(self, src_node: int, dst_node: int) -> tuple[tuple, ...]:
+        """Ordered link keys a (src -> dst) bulk flow crosses."""
+        src_leaf = self.leaf_of_node(src_node)
+        dst_leaf = self.leaf_of_node(dst_node)
+        if src_leaf == dst_leaf:
+            return (("tx", src_node), ("rx", dst_node))
+        spine = self._choose(src_node, dst_node)
+        return (
+            ("tx", src_node),
+            ("up", src_leaf, spine),
+            ("down", spine, dst_leaf),
+            ("rx", dst_node),
+        )
+
+    def spine_load(self, src_leaf: int, dst_leaf: int, spine: int) -> int:
+        """In-flight flows on a candidate spine's up+down link pair."""
+        eng = self._engine
+        if eng is None:
+            return 0
+        return (eng.link_load(("up", src_leaf, spine))
+                + eng.link_load(("down", spine, dst_leaf)))
+
+
+def _ecmp_selector(topo: "FatTreeTopology", rng) -> Callable[[int, int], int]:
+    k = topo.spine_count
+
+    def choose(src: int, dst: int) -> int:
+        return ecmp_hash(src, dst) % k
+
+    return choose
+
+
+def _random_selector(topo: "FatTreeTopology", rng) -> Callable[[int, int], int]:
+    if rng is None:
+        raise ValueError('path_selector="random" needs a seeded rng stream')
+    k = topo.spine_count
+
+    def choose(src: int, dst: int) -> int:
+        return int(rng.integers(0, k))
+
+    return choose
+
+
+def _least_loaded_selector(topo: "FatTreeTopology", rng) -> Callable[[int, int], int]:
+    k = topo.spine_count
+
+    def choose(src: int, dst: int) -> int:
+        src_leaf = topo.leaf_of_node(src)
+        dst_leaf = topo.leaf_of_node(dst)
+        best, best_load = 0, None
+        for s in range(k):
+            load = topo.spine_load(src_leaf, dst_leaf, s)
+            if best_load is None or load < best_load:
+                best, best_load = s, load
+        return best
+
+    return choose
+
+
+#: Pluggable path-selector registry: name -> factory(topology, rng).
+PATH_SELECTORS: dict[str, Callable] = {
+    "ecmp": _ecmp_selector,
+    "random": _random_selector,
+    "least": _least_loaded_selector,
+}
+
+
+def make_selector(name: str, topo: "FatTreeTopology", *, rng=None):
+    """Build a ``choose(src_node, dst_node) -> spine`` callable."""
+    try:
+        factory = PATH_SELECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown path selector {name!r}; "
+            f"known: {sorted(PATH_SELECTORS)}"
+        ) from None
+    return factory(topo, rng)
+
+
+# -- ambient overrides ---------------------------------------------------
+_ENV_NPS = "REPRO_NODES_PER_SWITCH"
+_ENV_SPINES = "REPRO_SPINE_COUNT"
+_ENV_SELECTOR = "REPRO_PATH_SELECTOR"
+_ENV_UPLINK = "REPRO_UPLINK_CAPACITY"
+
+
+def resolve_topology_spec(spec):
+    """Apply ambient topology overrides to a spec's *defaulted* fields.
+
+    Each override only lands on a field the spec left at its default
+    (an explicit per-spec choice always wins), mirroring how
+    ``repro.hw.fluid.resolve_fluid`` treats ``spec.fluid``.  With no
+    ambient override set this returns ``spec`` itself, unchanged --
+    the committed-figure/golden-trace bit-identity path.
+    """
+    kw = {}
+    nps = os.environ.get(_ENV_NPS)
+    if nps is not None and spec.nodes_per_switch == 0:
+        kw["nodes_per_switch"] = int(nps)
+    spines = os.environ.get(_ENV_SPINES)
+    if spines is not None and spec.spine_count == 1:
+        kw["spine_count"] = int(spines)
+    sel = os.environ.get(_ENV_SELECTOR)
+    if sel is not None and spec.path_selector == "ecmp":
+        kw["path_selector"] = sel
+    up = os.environ.get(_ENV_UPLINK)
+    if up is not None and spec.uplink_capacity == 1.0:
+        kw["uplink_capacity"] = float(up)
+    if not kw:
+        return spec
+    return replace(spec, **kw)
+
+
+@contextmanager
+def using_topology(*, nodes_per_switch: Optional[int] = None,
+                   spine_count: Optional[int] = None,
+                   path_selector: Optional[str] = None,
+                   uplink_capacity: Optional[float] = None):
+    """Ambient fat-tree override for every defaulted spec in the block."""
+    pairs = [
+        (_ENV_NPS, nodes_per_switch),
+        (_ENV_SPINES, spine_count),
+        (_ENV_SELECTOR, path_selector),
+        (_ENV_UPLINK, uplink_capacity),
+    ]
+    saved = {}
+    try:
+        for env, val in pairs:
+            if val is None:
+                continue
+            saved[env] = os.environ.get(env)
+            os.environ[env] = str(val)
+        yield
+    finally:
+        for env, old in saved.items():
+            if old is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = old

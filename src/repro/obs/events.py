@@ -26,6 +26,8 @@ xfer       post, deliver, complete
 flow       begin, end, fault, retry   (fluid hybrid mode bulk windows)
 fluid      disabled   (an armed FaultPlan forced the exact path)
 link       degrade, restore   (LinkDegradePlan window edges)
+           congested, clear   (fat-tree link contention edges: >= 2
+                               flows sharing a saturated link)
 ctrl       post, deliver, drop
 reg        mr, mkey, mkey2, revoke, stale_use
 cache      hit, miss, stale, evict   (args name the cache)

@@ -22,7 +22,7 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
-from repro.sim.flows import Flow, FlowEngine, fair_shares
+from repro.sim.flows import Flow, FlowEngine, fair_shares, fair_shares_links
 from repro.sim.process import Process
 from repro.sim.resources import PriorityStore, Resource, Store
 from repro.sim.rng import RngRegistry, spawn_seed
@@ -33,6 +33,7 @@ __all__ = [
     "DeadlockError",
     "Event",
     "fair_shares",
+    "fair_shares_links",
     "Flow",
     "FlowEngine",
     "Interrupt",

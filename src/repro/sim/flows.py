@@ -19,6 +19,15 @@ throughput on a faster wire).  Rates are the max-min fair (water-filling)
 allocation over those endpoints, each flow additionally capped at 1.0
 (a single message cannot use more than the whole port).
 
+With a fat-tree topology attached (``repro.hw.topology``), a flow may
+instead carry an explicit *path* -- an ordered tuple of link keys
+(tx port, leaf->spine uplink, spine->leaf downlink, rx port) -- and the
+allocation water-fills over the full flow x link incidence
+(:func:`fair_shares_links`).  The two-endpoint case is exactly the
+degenerate two-link path, and the engine keeps solving it with the
+original endpoint-only :func:`fair_shares` whenever no in-flight flow
+has a longer path, so single-switch runs stay bit-identical.
+
 The engine integrates ``remaining -= rate * dt`` lazily: it wakes only
 at the earliest predicted flow completion, or after the set of flows
 changes.  Set changes within one simulated instant are batched -- every
@@ -41,7 +50,7 @@ import numpy as np
 
 from repro.sim.core import Simulator
 
-__all__ = ["Flow", "FlowEngine", "fair_shares"]
+__all__ = ["Flow", "FlowEngine", "fair_shares", "fair_shares_links"]
 
 #: Slack used when freezing a constraint during water-filling.
 _TINY = 1e-12
@@ -109,18 +118,130 @@ def fair_shares(tx, rx, caps, n_endpoints: int,
     return share
 
 
+def _pad_paths(paths, n_links: int) -> np.ndarray:
+    """Ragged link-id paths -> dense (n, width) array padded with n_links."""
+    n = len(paths)
+    if n == 0:
+        return np.empty((0, 1), dtype=np.intp)
+    width = max(len(p) for p in paths)
+    if width == 0:
+        raise ValueError("every flow path needs at least one link")
+    out = np.full((n, width), n_links, dtype=np.intp)
+    for i, p in enumerate(paths):
+        out[i, : len(p)] = p
+    return out
+
+
+def fair_shares_links(paths, caps, n_links: int,
+                      link_caps=None) -> np.ndarray:
+    """Max-min fair time-shares for flows over arbitrary link paths.
+
+    The generalization of :func:`fair_shares` from (tx, rx) endpoint
+    pairs to a full flow x link incidence: ``paths`` is either a
+    sequence of per-flow link-id sequences, or an already-padded 2-D
+    ``intp`` array where entries ``>= n_links`` *or negative* are
+    padding.  ``link_caps`` is the per-link capacity vector (unit
+    capacity everywhere by default).  A flow crossing a link twice
+    loads it twice.
+
+    Same water-filling schedule as the endpoint solver: raise every
+    unfrozen flow uniformly until a link saturates or a flow hits its
+    own cap, freeze, repeat.  Each round freezes at least one flow.
+    When every path has exactly two links this computes bit-identical
+    shares to ``fair_shares`` (same bincount loads, same head/min/delta
+    float operations in the same order) -- the engine's fast-path
+    equivalence the property tests pin down.
+
+    Pure and deterministic -- exposed for the Hypothesis property tests.
+    """
+    caps = np.asarray(caps, dtype=np.float64)
+    if isinstance(paths, np.ndarray) and paths.ndim == 2:
+        P = paths.astype(np.intp, copy=True)
+        np.copyto(P, n_links, where=(P < 0) | (P > n_links))
+    else:
+        P = _pad_paths([np.asarray(p, dtype=np.intp) for p in paths], n_links)
+    n = P.shape[0]
+    share = np.zeros(n, dtype=np.float64)
+    if n == 0:
+        return share
+    # One sentinel slot past the real links holds the padding: infinite
+    # capacity, zero load, so it never binds and never freezes a flow.
+    cap_left = np.empty(n_links + 1, dtype=np.float64)
+    if link_caps is None:
+        cap_left[:n_links] = 1.0
+    else:
+        lc = np.asarray(link_caps, dtype=np.float64)
+        if lc.shape != (n_links,):
+            raise ValueError(
+                f"link_caps must have shape ({n_links},), got {lc.shape}"
+            )
+        np.maximum(lc, 0.0, out=cap_left[:n_links])
+    cap_left[n_links] = np.inf
+    # The loop runs compacted: ``idx`` maps surviving rows back to flow
+    # ids and ``PA``/``caps_a``/``share_a`` hold just those rows, so the
+    # per-round gathers shrink as flows freeze.  Every float operation
+    # is elementwise-identical to the uncompacted formulation, so the
+    # shares stay bit-identical to it (and, on 2-link paths, to
+    # ``fair_shares``).
+    idx = np.arange(n, dtype=np.intp)
+    PA = P
+    caps_a = caps
+    share_a = share.copy()
+    while idx.size:
+        load = np.bincount(
+            PA.ravel(), minlength=n_links + 1
+        ).astype(np.float64)
+        load[n_links] = 0.0
+        # The denominator is clamped to >= 1, so this never divides by
+        # zero; unloaded links then get their head overwritten with inf
+        # (same values as the where() formulation, fewer temporaries).
+        head = cap_left / np.maximum(load, 1.0)
+        head[load == 0.0] = np.inf
+        inc = head[PA].min(axis=1)
+        head_room = caps_a - share_a
+        np.minimum(inc, head_room, out=inc)
+        delta = float(inc.min())
+        if delta > 0.0 and np.isfinite(delta):
+            share_a = share_a + delta
+            head_room = caps_a - share_a
+            cap_left[:n_links] -= delta * load[:n_links]
+            np.maximum(cap_left[:n_links], 0.0, out=cap_left[:n_links])
+        frozen = (head_room <= _TINY) | (cap_left[PA].min(axis=1) <= _TINY)
+        if frozen.all() or not frozen.any():
+            # Everything froze -- or nothing did (degenerate input,
+            # e.g. zero caps, where no constraint can ever bind):
+            # record the current levels and terminate.
+            share[idx] = share_a
+            break
+        share[idx[frozen]] = share_a[frozen]
+        keep = ~frozen
+        idx = idx[keep]
+        PA = PA[keep]
+        caps_a = caps_a[keep]
+        share_a = share_a[keep]
+    return share
+
+
 class Flow:
     """One rate-shared bulk transfer tracked by the :class:`FlowEngine`."""
 
     __slots__ = ("fid", "tx", "rx", "work", "cap", "rate", "remaining",
-                 "finish", "tag", "t_start", "t_drain")
+                 "finish", "tag", "t_start", "t_drain", "path", "keys")
 
     def __init__(self, fid: int, tx: int, rx: int, work: float, cap: float,
                  finish: Callable[["Flow", float], None], tag: Any,
-                 t_start: float):
+                 t_start: float, path: Optional[tuple] = None,
+                 keys: Optional[tuple] = None):
         self.fid = fid
         self.tx = tx
         self.rx = rx
+        #: Dense link ids the flow crosses, in order (``None`` for the
+        #: default two-endpoint (tx, rx) flow).
+        self.path = path
+        #: The original link keys behind :attr:`path` (``None`` for the
+        #: default flow); lets :meth:`FlowEngine.requeue` re-admit a
+        #: residue without inverting the endpoint table.
+        self.keys = keys
         self.work = work
         self.cap = cap
         #: Current max-min rate (port time-share); updated per recompute.
@@ -163,11 +284,33 @@ class FlowEngine:
         self._rx = np.empty(0, dtype=np.intp)
         self._caps = np.empty(0, dtype=np.float64)
         self._endpoints: dict[Any, int] = {}
-        # Non-default endpoint capacities (dense id -> capacity in
-        # [0, 1]); empty on a healthy fabric, which keeps the solver on
-        # the original all-ones path bit for bit.  Populated by link
+        #: Reverse of ``_endpoints``: dense id -> key, appended in
+        #: intern order (congestion events and utilization reports).
+        self._eid_keys: list[Any] = []
+        # Non-default endpoint capacities (dense id -> absolute
+        # capacity); empty on a healthy fabric, which keeps the solver
+        # on the original all-ones path bit for bit.  Populated by link
         # degradation (see repro.hw.faults.LinkDegradePlan).
         self._ep_caps: dict[int, float] = {}
+        # Non-unit *base* link capacities (dense id -> capacity),
+        # declared by a topology via register_link; empty by default.
+        self._base_caps: dict[int, float] = {}
+        # Count of active flows whose path has more than two links;
+        # zero keeps _recompute on the endpoint-only fast solver.
+        self._n_multilink = 0
+        # Cached padded path matrix for the link solver (-1 padding);
+        # invalidated whenever the active set changes.
+        self._pad: Optional[np.ndarray] = None
+        #: Optional congestion hook: ``fn(key, congested, nflows)``
+        #: fires on every link's congested/clear transition (>= 2 flows
+        #: sharing a saturated link).  Computed only when set.
+        self.on_congestion: Optional[Callable[[Any, bool, int], None]] = None
+        self._congested: set[int] = set()
+        #: Opt-in per-link utilization integration (port-seconds of
+        #: occupied capacity per link); off by default to keep clean
+        #: runs free of the extra per-settle bincount.
+        self.util_enabled = False
+        self._util = np.empty(0, dtype=np.float64)
         #: Set when endpoint capacities changed since the last solve;
         #: forces a fair-share recompute at the next sync even if the
         #: flow set itself is unchanged.
@@ -189,28 +332,46 @@ class FlowEngine:
         return len(self._active) + len(self._pending)
 
     def endpoint(self, key: Any) -> int:
-        """Dense id for an endpoint key (e.g. ``("tx", node)``)."""
+        """Dense id for an endpoint/link key (e.g. ``("tx", node)``)."""
         eid = self._endpoints.get(key)
         if eid is None:
             eid = len(self._endpoints)
             self._endpoints[key] = eid
+            self._eid_keys.append(key)
         return eid
 
-    def add_flow(self, *, tx: Any, rx: Any, work: float,
+    def add_flow(self, *, tx: Any = None, rx: Any = None, work: float,
                  finish: Callable[[Flow, float], None],
-                 cap: float = 1.0, tag: Any = None) -> Flow:
+                 cap: float = 1.0, tag: Any = None,
+                 path: Optional[Iterable[Any]] = None) -> Flow:
         """Admit a flow; ``finish(flow, t)`` fires when its work drains.
 
         ``tx``/``rx`` are endpoint keys (mapped to dense ids), ``work``
-        is in port-seconds, ``cap`` the flow's own rate ceiling.  The
-        finish callback runs during event processing at the drain
-        instant; it may add new flows (they batch into the same instant's
-        recompute).
+        is in port-seconds, ``cap`` the flow's own rate ceiling.
+        Alternatively ``path`` gives the ordered link keys the flow
+        crosses (at least two; a topology's tx port, spine links, rx
+        port) -- the flow then contends on *every* link of its path via
+        :func:`fair_shares_links`.  The finish callback runs during
+        event processing at the drain instant; it may add new flows
+        (they batch into the same instant's recompute).
         """
         if work <= 0.0:
             raise ValueError(f"flow work must be positive, got {work!r}")
-        flow = Flow(self._next_fid, self.endpoint(tx), self.endpoint(rx),
-                    float(work), float(cap), finish, tag, self.sim.now)
+        if path is not None:
+            keys = tuple(path)
+            if len(keys) < 2:
+                raise ValueError(
+                    f"flow path needs at least two links, got {keys!r}"
+                )
+            eids = tuple(self.endpoint(k) for k in keys)
+            flow = Flow(self._next_fid, eids[0], eids[-1], float(work),
+                        float(cap), finish, tag, self.sim.now,
+                        path=eids, keys=keys)
+        else:
+            if tx is None or rx is None:
+                raise ValueError("add_flow needs tx and rx, or a path")
+            flow = Flow(self._next_fid, self.endpoint(tx), self.endpoint(rx),
+                        float(work), float(cap), finish, tag, self.sim.now)
         self._next_fid += 1
         self.flows_started += 1
         self._pending.append(flow)
@@ -238,17 +399,23 @@ class FlowEngine:
         now = self.sim.now
         dt = now - self._last_t
         if dt > 0.0:
+            if self.util_enabled:
+                self._accumulate_util(dt)
             self._rem -= dt * self._share
             self._last_t = now
         remaining = max(0.0, float(self._rem[i]))
         flow.remaining = remaining
         del self._active[i]
+        if flow.path is not None and len(flow.path) != 2:
+            self._n_multilink -= 1
         keep = np.ones(len(self._rem), dtype=bool)
         keep[i] = False
         self._mask_arrays(keep)
         self.flows_cancelled += 1
         if self._active:
             self._recompute()
+        elif self._congested:
+            self._clear_congestion()
         self._arm_wake(now)
         return remaining
 
@@ -256,11 +423,18 @@ class FlowEngine:
                 finish: Optional[Callable[[Flow, float], None]] = None) -> Flow:
         """Re-admit a cancelled flow's residue as a fresh flow.
 
-        The new flow inherits the old endpoints, cap and tag (and
-        ``finish`` unless overridden); its work is the cancelled flow's
-        remaining port-seconds.  Raises ``ValueError`` when nothing
-        remains -- a fully drained flow has no residue to requeue.
+        The new flow inherits the old endpoints (the full path, for a
+        path-routed flow), cap and tag (and ``finish`` unless
+        overridden); its work is the cancelled flow's remaining
+        port-seconds.  Raises ``ValueError`` when nothing remains -- a
+        fully drained flow has no residue to requeue.
         """
+        if flow.keys is not None:
+            return self.add_flow(
+                path=flow.keys, work=flow.remaining,
+                finish=flow.finish if finish is None else finish,
+                cap=flow.cap, tag=flow.tag,
+            )
         eps = {v: k for k, v in self._endpoints.items()}
         return self.add_flow(
             tx=eps[flow.tx], rx=eps[flow.rx], work=flow.remaining,
@@ -272,17 +446,51 @@ class FlowEngine:
         """Snapshot of every in-flight flow (active + this instant's batch)."""
         return self._active + self._pending
 
+    def register_link(self, key: Any, capacity: float = 1.0) -> None:
+        """Declare a link's *base* (healthy) capacity in port-shares.
+
+        Links default to unit capacity, so only non-unit links need
+        registration (a topology's fat uplinks, a tapered tree).  The
+        base is what :meth:`set_endpoint_capacity` restores to and what
+        degrade factors multiply against.
+        """
+        if capacity < 0.0:
+            raise ValueError(f"link capacity must be >= 0, got {capacity!r}")
+        eid = self.endpoint(key)
+        if capacity == 1.0:
+            self._base_caps.pop(eid, None)
+        else:
+            self._base_caps[eid] = float(capacity)
+        self._dirty = True
+        self._schedule_kick()
+
+    def base_capacity(self, key: Any) -> float:
+        """A link's healthy capacity (1.0 unless registered otherwise)."""
+        eid = self._endpoints.get(key)
+        if eid is None:
+            return 1.0
+        return self._base_caps.get(eid, 1.0)
+
     def set_endpoint_capacity(self, key: Any, capacity: float) -> None:
-        """Set an endpoint's capacity (1.0 healthy, 0.0 flapped down).
+        """Set a link's current capacity (base when healthy, 0.0 flapped).
 
         Takes effect at the current instant: in-flight progress is
         settled under the old shares, then the fair shares are re-solved
-        against the new capacity (the degrade/restore edge).
+        against the new capacity (the degrade/restore edge).  Values at
+        or above the link's base capacity clear the override -- a link
+        cannot run faster than its physical base, so "restore" is just
+        ``set_endpoint_capacity(key, engine.base_capacity(key))``.
+
+        The setting is symmetric with :meth:`endpoint_capacity` at any
+        point in a flow's life: it applies to links referenced only by
+        *pending* (not-yet-admitted) flows, or by no flow at all, and
+        the queried value does not change when flows are later admitted.
         """
         if capacity < 0.0:
             raise ValueError(f"endpoint capacity must be >= 0, got {capacity!r}")
         eid = self.endpoint(key)
-        if capacity >= 1.0:
+        base = self._base_caps.get(eid, 1.0)
+        if capacity >= base:
             self._ep_caps.pop(eid, None)
         else:
             self._ep_caps[eid] = float(capacity)
@@ -290,11 +498,47 @@ class FlowEngine:
         self._schedule_kick()
 
     def endpoint_capacity(self, key: Any) -> float:
-        """Current capacity of an endpoint (1.0 unless degraded)."""
+        """Current capacity of a link (its base unless degraded).
+
+        The exact inverse of :meth:`set_endpoint_capacity`, including
+        for links that only pending flows reference and links no flow
+        has ever crossed (those report their base capacity).
+        """
         eid = self._endpoints.get(key)
         if eid is None:
             return 1.0
-        return self._ep_caps.get(eid, 1.0)
+        base = self._base_caps.get(eid, 1.0)
+        return self._ep_caps.get(eid, base)
+
+    def link_load(self, key: Any) -> int:
+        """In-flight flows (active + pending) crossing a link.
+
+        Feeds the ``"least"`` path selector; a flow crossing the link
+        twice counts twice, mirroring the solver's incidence load.
+        """
+        eid = self._endpoints.get(key)
+        if eid is None:
+            return 0
+        n = 0
+        for f in self._active + self._pending:
+            p = f.path if f.path is not None else (f.tx, f.rx)
+            for e in p:
+                if e == eid:
+                    n += 1
+        return n
+
+    def link_utilization(self) -> dict:
+        """Integrated busy port-seconds per link since construction.
+
+        Only populated while :attr:`util_enabled` is set (the extra
+        per-settle bincount is opt-in); divide by elapsed simulated
+        time x link capacity for a utilization fraction.
+        """
+        out = {}
+        for eid, key in enumerate(self._eid_keys):
+            if eid < self._util.shape[0] and self._util[eid] > 0.0:
+                out[key] = float(self._util[eid])
+        return out
 
     def probe(self) -> Iterable[str]:
         """Watchdog lines describing in-flight flows (deadlock reports)."""
@@ -342,6 +586,8 @@ class FlowEngine:
         now = self.sim.now
         dt = now - self._last_t
         if dt > 0.0 and len(self._active):
+            if self.util_enabled:
+                self._accumulate_util(dt)
             self._rem -= dt * self._share
         self._last_t = now
         self._finish_due(now)
@@ -372,11 +618,17 @@ class FlowEngine:
         finished = [act[i] for i in idx]  # ascending index == fid order
         keep = ~done
         self._active = [f for f, k in zip(act, keep) if k]
+        if self._n_multilink:
+            for f in finished:
+                if f.path is not None and len(f.path) != 2:
+                    self._n_multilink -= 1
         self._mask_arrays(keep)
         if self._active:
             self._recompute()
         else:
             self.recomputes += 1
+            if self._congested:
+                self._clear_congestion()
         for f in finished:
             f.remaining = 0.0
             f.t_drain = now
@@ -390,6 +642,11 @@ class FlowEngine:
         self._tx = self._tx[keep]
         self._rx = self._rx[keep]
         self._caps = self._caps[keep]
+        if self._pad is not None:
+            # The padded-path cache stays row-aligned with _active, so
+            # a removal is just the same row compaction (stale padding
+            # columns are harmless: they stay -1).
+            self._pad = self._pad[keep]
 
     def _admit_pending(self) -> None:
         """Append this instant's batch to the active set and its arrays."""
@@ -416,6 +673,62 @@ class FlowEngine:
              np.fromiter((1e-9 * f.work + 1e-18 for f in new),
                          dtype=np.float64, count=k)]
         )
+        pad = self._pad
+        if pad is not None:
+            # Extend the padded-path cache with just this batch's rows
+            # (growing the width first if a longer path arrived) instead
+            # of invalidating it -- rebuilding is O(active) Python work.
+            width = pad.shape[1]
+            for f in new:
+                if f.path is not None and len(f.path) > width:
+                    width = len(f.path)
+            block = np.full((k, width), -1, dtype=np.intp)
+            for i, f in enumerate(new):
+                p = f.path
+                if p is None:
+                    block[i, 0] = f.tx
+                    block[i, 1] = f.rx
+                else:
+                    block[i, : len(p)] = p
+            if width > pad.shape[1]:
+                grown = np.full((pad.shape[0], width), -1, dtype=np.intp)
+                grown[:, : pad.shape[1]] = pad
+                pad = grown
+            self._pad = np.concatenate([pad, block])
+        for f in new:
+            if f.path is not None and len(f.path) != 2:
+                self._n_multilink += 1
+
+    def _caps_array(self) -> Optional[np.ndarray]:
+        """Effective per-link capacities, or ``None`` for all-ones."""
+        if not self._ep_caps and not self._base_caps:
+            return None
+        caps = np.ones(len(self._endpoints), dtype=np.float64)
+        for eid, c in self._base_caps.items():
+            caps[eid] = c
+        for eid, c in self._ep_caps.items():
+            caps[eid] = c
+        return caps
+
+    def _padded_paths(self) -> np.ndarray:
+        """Active flows' dense link ids as a (n, width) -1-padded array."""
+        pad = self._pad
+        if pad is None:
+            act = self._active
+            width = 2
+            for f in act:
+                if f.path is not None and len(f.path) > width:
+                    width = len(f.path)
+            pad = np.full((len(act), width), -1, dtype=np.intp)
+            for i, f in enumerate(act):
+                p = f.path
+                if p is None:
+                    pad[i, 0] = f.tx
+                    pad[i, 1] = f.rx
+                else:
+                    pad[i, : len(p)] = p
+            self._pad = pad
+        return pad
 
     def _recompute(self) -> None:
         act = self._active
@@ -423,15 +736,81 @@ class FlowEngine:
         self.recomputes += 1
         if n == 0:
             return
-        ep_caps = None
-        if self._ep_caps:
-            ep_caps = np.ones(len(self._endpoints), dtype=np.float64)
-            for eid, c in self._ep_caps.items():
-                ep_caps[eid] = c
-        self._share = fair_shares(self._tx, self._rx, self._caps,
-                                  len(self._endpoints), ep_caps)
+        ep_caps = self._caps_array()
+        if self._n_multilink == 0:
+            # Endpoint-only fast path: every flow is a degenerate
+            # two-link path, solved exactly as before topologies
+            # existed (bit-identical shares for single-switch runs).
+            self._share = fair_shares(self._tx, self._rx, self._caps,
+                                      len(self._endpoints), ep_caps)
+        else:
+            self._share = fair_shares_links(
+                self._padded_paths(), self._caps,
+                len(self._endpoints), ep_caps,
+            )
         for f, r in zip(act, self._share):
             f.rate = float(r)
+        if self.on_congestion is not None:
+            self._watch_congestion()
+
+    def _link_totals(self, weights: Optional[np.ndarray]):
+        """Per-link sums over the active incidence (counts or shares)."""
+        n_links = len(self._endpoints)
+        if self._n_multilink == 0:
+            if weights is None:
+                tot = (np.bincount(self._tx, minlength=n_links)
+                       + np.bincount(self._rx, minlength=n_links))
+                return tot.astype(np.float64)
+            return (np.bincount(self._tx, weights=weights, minlength=n_links)
+                    + np.bincount(self._rx, weights=weights,
+                                  minlength=n_links))
+        P = self._padded_paths()
+        flat = np.where(P < 0, n_links, P).ravel()
+        if weights is None:
+            tot = np.bincount(flat, minlength=n_links + 1)
+            return tot[:n_links].astype(np.float64)
+        w = np.repeat(weights, P.shape[1])
+        return np.bincount(flat, weights=w, minlength=n_links + 1)[:n_links]
+
+    def _watch_congestion(self) -> None:
+        """Fire the congestion hook on links' congested/clear edges.
+
+        A link is *congested* while >= 2 in-flight flows share it and
+        their allocated shares sum to (within float slack of) its full
+        capacity -- a lone flow saturating its own port is just a busy
+        sender, not contention.
+        """
+        n_links = len(self._endpoints)
+        counts = self._link_totals(None)
+        used = self._link_totals(self._share)
+        caps = self._caps_array()
+        if caps is None:
+            caps = 1.0
+        hot = np.nonzero((counts >= 2.0) & (used >= caps - 1e-9))[0]
+        now_hot = set(int(e) for e in hot)
+        hook = self.on_congestion
+        for eid in sorted(now_hot - self._congested):
+            hook(self._eid_keys[eid], True, int(counts[eid]))
+        for eid in sorted(self._congested - now_hot):
+            n = int(counts[eid]) if eid < n_links else 0
+            hook(self._eid_keys[eid], False, n)
+        self._congested = now_hot
+
+    def _clear_congestion(self) -> None:
+        hook = self.on_congestion
+        if hook is not None:
+            for eid in sorted(self._congested):
+                hook(self._eid_keys[eid], False, 0)
+        self._congested = set()
+
+    def _accumulate_util(self, dt: float) -> None:
+        """Integrate dt x per-link occupied shares into the util vector."""
+        n_links = len(self._endpoints)
+        if self._util.shape[0] < n_links:
+            grown = np.zeros(n_links, dtype=np.float64)
+            grown[: self._util.shape[0]] = self._util
+            self._util = grown
+        self._util[:n_links] += dt * self._link_totals(self._share)
 
     def _arm_wake(self, now: float) -> None:
         self._wake_gen += 1

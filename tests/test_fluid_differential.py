@@ -29,7 +29,7 @@ import pytest
 
 from repro.experiments import runall
 from repro.experiments.common import canonical_json
-from repro.hw import Cluster, ClusterSpec, using_fluid
+from repro.hw import Cluster, ClusterSpec, using_fluid, using_topology
 from repro.obs import EventBus, trace_violations
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -144,6 +144,73 @@ class TestFluidWithinTolerance:
         cl.sim.run()
         assert seen["via"] == "event"
         assert cl.fabric.flow_engine.flows_started == 0
+
+
+class TestTopologyModeBitIdentity:
+    """A single-switch fat-tree is the identity topology: every flow's
+    path degenerates to the 2-link (tx, rx) pair, the engine stays on
+    its endpoint fast solver, and the committed fluid-equivalent tables
+    must regenerate within FLUID_RTOL -- with the per-link machinery
+    attached, not bypassed.  Golden traces stay byte-identical too (the
+    control plane never touches the flow engine)."""
+
+    @pytest.mark.parametrize("name", DIFF_FIGURES)
+    def test_single_switch_tables_match(self, name):
+        with using_fluid(), using_topology(nodes_per_switch=1 << 20):
+            fig = _run(name)
+        assert fig.all_passed, (
+            f"{name}: paper-shape checks failed in topology mode: "
+            + "; ".join(c.name for c in fig.checks if not c.passed)
+        )
+        committed = _committed(name)
+        got = fig.to_dict()
+        assert [s["label"] for s in got["series"]] == \
+            [s["label"] for s in committed["series"]]
+        for se, sf in zip(committed["series"], got["series"]):
+            assert sf["x"] == se["x"]
+            for x, exact, topo in zip(se["x"], se["y"], sf["y"]):
+                assert topo == pytest.approx(exact, rel=FLUID_RTOL), (
+                    f"{name} {se['label']}@{x}: topology {topo!r} vs "
+                    f"exact {exact!r} exceeds rtol={FLUID_RTOL}"
+                )
+
+    def test_topology_attached_not_bypassed(self):
+        """Guard against vacuity: the ambient override must actually
+        build a FatTreeTopology and route flows through path= admission."""
+        with using_fluid(), using_topology(nodes_per_switch=1 << 20):
+            cl = Cluster(ClusterSpec(nodes=2, ppn=1, proxies_per_dpu=1))
+        assert cl.topology is not None
+        assert cl.topology.n_leaves == 1
+        seen = {}
+
+        def prog():
+            t = cl.fabric.transfer(src_node=0, dst_node=1, size=1 << 20,
+                                   initiator="host")
+            dv = yield t.completed
+            seen["path"] = dv.path
+
+        cl.sim.process(prog())
+        cl.sim.run()
+        assert seen["path"] == (("tx", 0), ("rx", 1))
+        # Degenerate 2-link paths keep the endpoint fast solver engaged.
+        assert cl.fabric.flow_engine._n_multilink == 0
+
+    def test_golden_traces_unchanged_in_topology_mode(self):
+        from tests.test_golden_traces import GOLDEN_DIR, SCENARIOS, serialize_events
+
+        with using_fluid(), using_topology(nodes_per_switch=1 << 20):
+            obs = SCENARIOS["ring_broadcast"]()
+        got = serialize_events(obs.bus)
+        assert got == (GOLDEN_DIR / "ring_broadcast.events").read_text()
+
+    def test_explicit_spec_wins_over_ambient(self):
+        """A spec that chose its own fat-tree keeps it under overrides."""
+        spec = ClusterSpec(nodes=8, ppn=1, nodes_per_switch=2,
+                           spine_count=2, fluid=True)
+        with using_topology(nodes_per_switch=1 << 20, spine_count=7):
+            cl = Cluster(spec)
+        assert cl.topology.nodes_per_switch == 2
+        assert cl.topology.spine_count == 2
 
 
 def _bulk_observed(break_finisher=None):

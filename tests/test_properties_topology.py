@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) on the per-link topology solver.
+
+Four families of invariants (docs/PERFORMANCE.md, "Per-link topology
+mode"):
+
+* **conservation** -- ``fair_shares_links`` never oversubscribes a
+  link: for every link the shares of the flows crossing it sum to at
+  most its capacity (counted with multiplicity for flows that cross a
+  link twice);
+* **max-min fixed point** -- every flow is bottlenecked: it either
+  sits at its own cap or crosses at least one saturated link, so no
+  allocation can raise any flow without lowering a poorer one;
+* **order invariance** -- the shares are a pure function of the flow
+  *set*: permuting the rows permutes the shares bit-identically;
+* **endpoint-mode equivalence** -- on degenerate 2-link paths the
+  generalized solver reproduces ``fair_shares`` bit for bit (the
+  engine's fast-path guarantee), both at the solver level and through
+  a live ``FlowEngine`` driving a single-leaf fat-tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.flows import FlowEngine, fair_shares, fair_shares_links
+from repro.sim import Simulator
+
+_EPS = 1e-9
+
+# Paths of 1..4 links over a 10-link fabric; per-flow caps in (0, 1].
+path_flows = st.lists(
+    st.tuples(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4),
+        st.floats(0.05, 1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+link_cap_arrays = st.one_of(
+    st.none(),
+    st.lists(st.floats(0.1, 2.0, allow_nan=False),
+             min_size=10, max_size=10),
+)
+
+
+def _solve(flows, link_caps):
+    paths = [f[0] for f in flows]
+    caps = np.array([f[1] for f in flows], dtype=np.float64)
+    lc = None if link_caps is None else np.array(link_caps)
+    return paths, caps, lc, fair_shares_links(paths, caps, 10, link_caps=lc)
+
+
+@settings(max_examples=200, deadline=None)
+@given(flows=path_flows, link_caps=link_cap_arrays)
+def test_links_conservation(flows, link_caps):
+    paths, caps, lc, shares = _solve(flows, link_caps)
+    assert np.all(shares >= 0.0)
+    assert np.all(shares <= caps + _EPS)
+    for link in range(10):
+        # A flow crossing a link twice loads it twice.
+        load = sum(s * p.count(link) for p, s in zip(paths, shares))
+        cap = 1.0 if lc is None else lc[link]
+        assert load <= cap + _EPS, f"link {link} oversubscribed: {load}"
+
+
+@settings(max_examples=200, deadline=None)
+@given(flows=path_flows, link_caps=link_cap_arrays)
+def test_links_maxmin_fixed_point(flows, link_caps):
+    paths, caps, lc, shares = _solve(flows, link_caps)
+    link_load = np.zeros(10)
+    for p, s in zip(paths, shares):
+        for link in p:
+            link_load[link] += s
+    link_cap = np.ones(10) if lc is None else lc
+    for i, (p, s) in enumerate(zip(paths, shares)):
+        at_cap = s >= caps[i] - _EPS
+        on_saturated = any(link_load[l] >= link_cap[l] - _EPS for l in p)
+        assert at_cap or on_saturated, (
+            f"flow {i} ({s}) below cap {caps[i]} with headroom on "
+            f"every link of {p}"
+        )
+
+
+@settings(max_examples=150, deadline=None)
+@given(flows=path_flows, link_caps=link_cap_arrays, seed=st.integers(0, 2**31))
+def test_links_permutation_invariance(flows, link_caps, seed):
+    paths, caps, lc, shares = _solve(flows, link_caps)
+    perm = np.random.default_rng(seed).permutation(len(flows))
+    permuted = fair_shares_links(
+        [paths[i] for i in perm], caps[perm], 10, link_caps=lc)
+    assert np.array_equal(shares[perm], permuted)
+
+
+two_link_flows = st.lists(
+    st.tuples(
+        st.integers(0, 4),                       # tx link id
+        st.integers(5, 9),                       # rx link id
+        st.floats(0.05, 1.0, allow_nan=False),   # per-flow cap
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(flows=two_link_flows, link_caps=link_cap_arrays)
+def test_links_degenerate_paths_match_endpoint_solver(flows, link_caps):
+    """On 2-link paths the two solvers are bit-identical, not just close."""
+    tx = np.array([f[0] for f in flows], dtype=np.intp)
+    rx = np.array([f[1] for f in flows], dtype=np.intp)
+    caps = np.array([f[2] for f in flows], dtype=np.float64)
+    lc = None if link_caps is None else np.array(link_caps)
+    via_endpoints = fair_shares(tx, rx, caps, 10, endpoint_caps=lc)
+    via_links = fair_shares_links(np.stack([tx, rx], axis=1), caps, 10,
+                                  link_caps=lc)
+    assert np.array_equal(via_endpoints, via_links)
+
+
+@settings(max_examples=150, deadline=None)
+@given(flows=path_flows)
+def test_links_padded_matrix_matches_ragged(flows):
+    """Pre-padded 2-D input (the engine's cached form) solves identically."""
+    paths = [f[0] for f in flows]
+    caps = np.array([f[1] for f in flows], dtype=np.float64)
+    ragged = fair_shares_links(paths, caps, 10)
+    width = max(len(p) for p in paths)
+    padded = np.full((len(paths), width), -1, dtype=np.intp)
+    for i, p in enumerate(paths):
+        padded[i, : len(p)] = p
+    assert np.array_equal(ragged, fair_shares_links(padded, caps, 10))
+
+
+# ---------------------------------------------------------------------------
+# engine-level equivalence: multilink paths vs endpoint pairs
+# ---------------------------------------------------------------------------
+
+engine_flows = st.lists(
+    st.tuples(
+        st.integers(0, 3),                        # src node
+        st.integers(4, 7),                        # dst node
+        st.floats(1e-5, 1e-3, allow_nan=False),   # work (port-seconds)
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _drain_times(flows, *, as_paths: bool) -> list[float]:
+    sim = Simulator()
+    engine = FlowEngine(sim, threshold=1)
+    sim.attach_flow_engine(engine)
+    done: dict[int, float] = {}
+
+    def finish(flow, now, i=None):
+        done[flow.tag] = now
+
+    for i, (src, dst, work) in enumerate(flows):
+        if as_paths:
+            engine.add_flow(path=(("tx", src), ("rx", dst)),
+                            work=work, finish=finish, tag=i)
+        else:
+            engine.add_flow(tx=("tx", src), rx=("rx", dst),
+                            work=work, finish=finish, tag=i)
+    sim.run()
+    return [done[i] for i in range(len(flows))]
+
+
+@settings(max_examples=60, deadline=None)
+@given(flows=engine_flows)
+def test_engine_degenerate_paths_drain_identically(flows):
+    """2-link path= flows behave exactly like tx=/rx= endpoint flows.
+
+    Path-routed admission increments the multilink count only for
+    paths of length != 2, so both runs take the ``fair_shares`` fast
+    path -- drain times must match bit for bit.
+    """
+    assert _drain_times(flows, as_paths=True) == \
+        _drain_times(flows, as_paths=False)
